@@ -1,0 +1,88 @@
+// Shared helpers for the figure-regeneration benches.
+#pragma once
+
+#include <iostream>
+
+#include "apps/simple_hydro.hh"
+#include "apps/tomcatv.hh"
+#include "exec/block_select.hh"
+#include "model/machines.hh"
+#include "support/options.hh"
+#include "support/table.hh"
+#include "support/timer.hh"
+
+namespace wavepipe::bench {
+
+/// Virtual makespan of one Tomcatv forward-elimination wavefront (the
+/// paper's Fig 5 kernel) at size n on p processors with the given block
+/// size (0 = naive).
+inline double tomcatv_wave_vtime(const CostModel& costs, Coord n, int p,
+                                 Coord block, bool forward = true) {
+  const ProcGrid<2> grid = ProcGrid<2>::along_dim(p, 0);
+  return Machine::run(p, costs,
+                      [&](Communicator& comm) {
+                        TomcatvConfig cfg;
+                        cfg.n = n;
+                        Tomcatv app(cfg, grid, comm.rank());
+                        WaveOptions opts;
+                        opts.block = block;
+                        if (forward)
+                          app.forward_elimination(comm, opts);
+                        else
+                          app.back_substitution(comm, opts);
+                      })
+      .vtime_max;
+}
+
+/// Virtual makespan of one SIMPLE conduction wavefront.
+inline double simple_wave_vtime(const CostModel& costs, Coord n, int p,
+                                Coord block, bool forward = true) {
+  const ProcGrid<2> grid = ProcGrid<2>::along_dim(p, 0);
+  return Machine::run(p, costs,
+                      [&](Communicator& comm) {
+                        SimpleConfig cfg;
+                        cfg.n = n;
+                        SimpleHydro app(cfg, grid, comm.rank());
+                        WaveOptions opts;
+                        opts.block = block;
+                        if (forward)
+                          app.conduction_forward(comm, opts);
+                        else
+                          app.conduction_backward(comm, opts);
+                      })
+      .vtime_max;
+}
+
+/// Virtual makespan of a whole Tomcatv run (iterations full iterations).
+inline double tomcatv_program_vtime(const CostModel& costs, Coord n, int p,
+                                    Coord block, int iterations) {
+  const ProcGrid<2> grid = ProcGrid<2>::along_dim(p, 0);
+  TomcatvConfig cfg;
+  cfg.n = n;
+  cfg.iterations = iterations;
+  WaveOptions opts;
+  opts.block = block;
+  return Machine::run(p, costs,
+                      [&](Communicator& comm) {
+                        tomcatv_spmd(comm, cfg, grid, opts);
+                      })
+      .vtime_max;
+}
+
+/// Virtual makespan of a whole SIMPLE run.
+inline double simple_program_vtime(const CostModel& costs, Coord n, int p,
+                                   Coord block, int iterations) {
+  const ProcGrid<2> grid = ProcGrid<2>::along_dim(p, 0);
+  SimpleConfig cfg;
+  cfg.n = n;
+  cfg.iterations = iterations;
+  WaveOptions opts;
+  opts.block = block;
+  return Machine::run(p, costs,
+                      [&](Communicator& comm) {
+                        simple_spmd(comm, cfg, grid, opts);
+                      })
+      .vtime_max;
+}
+
+}  // namespace wavepipe::bench

@@ -1,0 +1,52 @@
+// Dynamic block-size selection (the paper's §6 future work): an iterative
+// wavefront code tunes b online by measuring its first waves, and is
+// compared against the static Eq (1) choice and the true optimum.
+#include "bench_util.hh"
+
+using namespace wavepipe;
+using namespace wavepipe::bench;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const Coord n = opts.get_int("n", 256);
+  const int p = static_cast<int>(opts.get_int("p", 8));
+
+  for (const MachinePreset& machine : {t3e_like(), fig5b_hypothetical()}) {
+    Table t("Dynamic block-size tuning on " + std::string(machine.name) +
+            " (Tomcatv wavefront, n=" + std::to_string(n) +
+            ", p=" + std::to_string(p) + ")");
+    t.set_header({"wave#", "b tried", "virtual time"});
+
+    BlockAutoTuner tuner(n - 2);
+    int wave = 0;
+    while (!tuner.settled() && wave < 30) {
+      const Coord b = tuner.propose();
+      const double vt = tomcatv_wave_vtime(machine.costs, n, p, b);
+      tuner.report(b, vt);
+      ++wave;
+      t.add_row({std::to_string(wave), std::to_string(b), fmt(vt, 6)});
+    }
+
+    const Coord tuned = tuner.best();
+    const Coord eq1 = select_block_static(machine.costs, n - 2, p);
+    Coord truth = 1;
+    double truth_t = -1;
+    for (Coord b = 1; b <= n - 2; ++b) {
+      const double vt = tomcatv_wave_vtime(machine.costs, n, p, b);
+      if (truth_t < 0 || vt < truth_t) {
+        truth_t = vt;
+        truth = b;
+      }
+    }
+    t.add_note("tuned b = " + std::to_string(tuned) + " (vt " +
+               fmt(tuner.best_time(), 6) + "), Eq(1) static b = " +
+               std::to_string(eq1) + " (vt " +
+               fmt(tomcatv_wave_vtime(machine.costs, n, p, eq1), 6) +
+               "), exhaustive optimum b = " + std::to_string(truth) + " (vt " +
+               fmt(truth_t, 6) + ")");
+    t.add_note("tuning cost: " + std::to_string(tuner.measurements()) +
+               " measured waves out of the run's total");
+    t.print(std::cout);
+  }
+  return 0;
+}

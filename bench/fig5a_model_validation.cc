@@ -1,0 +1,68 @@
+// Fig 5(a): modeled versus experimental speedup due to pipelining of the
+// Tomcatv wavefront computation (Cray T3E).
+//
+// Paper series: measured speedup vs block size b, with Model1 (beta = 0)
+// and Model2 (alpha + beta*n) predictions. Paper result: Model2 tracks the
+// observed speedup more closely; Model1 predicts b = 39 as optimal while
+// Model2 predicts b = 23, "which is in fact better".
+//
+// Here "experimental" is the virtual-time machine calibrated to the
+// paper's reported optima (DESIGN.md, Substitutions): n = 512, p = 8.
+#include "bench_util.hh"
+
+using namespace wavepipe;
+using namespace wavepipe::bench;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const MachinePreset machine = t3e_like();
+  const Coord n = opts.get_int("n", machine.n);
+  const int p = static_cast<int>(opts.get_int("p", machine.p));
+  const PipelineModel m1 = model1_of(machine);
+  const PipelineModel m2 = model2_of(machine);
+
+  // The wavefront spans the interior (n-2 elements per row); the model's
+  // n is that interior extent.
+  const Coord nw = n - 2;
+
+  const double naive = tomcatv_wave_vtime(machine.costs, n, p, 0);
+
+  Table t("Fig 5(a): Tomcatv wavefront, speedup due to pipelining vs block "
+          "size (" +
+          std::string(machine.name) + ", n=" + std::to_string(n) +
+          ", p=" + std::to_string(p) + ")");
+  t.set_header({"b", "measured", "Model1", "Model2"});
+
+  double best_measured = 0.0;
+  Coord best_b = 1;
+  for (Coord b : {Coord{1},  Coord{2},  Coord{4},  Coord{8},  Coord{12},
+                  Coord{16}, Coord{23}, Coord{32}, Coord{39}, Coord{48},
+                  Coord{64}, Coord{96}, Coord{128}, Coord{192}, Coord{256},
+                  nw}) {
+    if (b > nw) continue;
+    const double measured = naive / tomcatv_wave_vtime(machine.costs, n, p, b);
+    if (measured > best_measured) {
+      best_measured = measured;
+      best_b = b;
+    }
+    t.add_row({std::to_string(b), fmt(measured, 4),
+               fmt(m1.speedup_vs_naive(nw, p, b), 4),
+               fmt(m2.speedup_vs_naive(nw, p, b), 4)});
+  }
+
+  const Coord b1 = m1.optimal_block_search(nw, p);
+  const Coord b2 = m2.optimal_block_search(nw, p);
+  t.add_note("machine calibration: " + machine.costs.describe());
+  t.add_note("Model1 picks b = " + std::to_string(b1) +
+             " (paper: 39); Model2 picks b = " + std::to_string(b2) +
+             " (paper: 23)");
+  t.add_note("measured best b = " + std::to_string(best_b) + " (speedup " +
+             fmt(best_measured, 4) + ")");
+  t.add_note("measured speedup at Model1's choice: " +
+             fmt(naive / tomcatv_wave_vtime(machine.costs, n, p, b1), 4) +
+             ", at Model2's choice: " +
+             fmt(naive / tomcatv_wave_vtime(machine.costs, n, p, b2), 4) +
+             " (paper: Model2's choice is better)");
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Fig 5(b): the value of modeling the per-word cost (beta) — a
+// hypothetical machine where Model1 fails badly.
+//
+// Paper: with worst-case alpha/beta, Model1 suggests b = 20 versus b = 3
+// from Model2; "we can expect the speedup with a block size of 20 versus 3
+// to be considerably less. The situation is even worse for larger numbers
+// of processors." The paper plots model curves only ("experimental data is
+// not included"); we additionally print the virtual-machine measurement.
+#include "bench_util.hh"
+
+using namespace wavepipe;
+using namespace wavepipe::bench;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const MachinePreset machine = fig5b_hypothetical();
+  const Coord n = opts.get_int("n", machine.n);
+  const int p = static_cast<int>(opts.get_int("p", machine.p));
+  const PipelineModel m1 = model1_of(machine);
+  const PipelineModel m2 = model2_of(machine);
+  const Coord nw = n - 2;
+
+  const double naive = tomcatv_wave_vtime(machine.costs, n, p, 0);
+
+  Table t("Fig 5(b): hypothetical worst case for Model1 (" +
+          std::string(machine.name) + ", n=" + std::to_string(n) +
+          ", p=" + std::to_string(p) + ")");
+  t.set_header({"b", "Model1", "Model2", "simulated"});
+  for (Coord b : {Coord{1}, Coord{2}, Coord{3}, Coord{4}, Coord{5}, Coord{6},
+                  Coord{8}, Coord{10}, Coord{12}, Coord{16}, Coord{20},
+                  Coord{24}, Coord{32}, Coord{48}, Coord{64}}) {
+    if (b > nw) continue;
+    t.add_row({std::to_string(b), fmt(m1.speedup_vs_naive(nw, p, b), 4),
+               fmt(m2.speedup_vs_naive(nw, p, b), 4),
+               fmt(naive / tomcatv_wave_vtime(machine.costs, n, p, b), 4)});
+  }
+
+  const Coord b1 = m1.optimal_block_search(nw, p);
+  const Coord b2 = m2.optimal_block_search(nw, p);
+  t.add_note("machine calibration: " + machine.costs.describe());
+  t.add_note("Model1 picks b = " + std::to_string(b1) +
+             " (paper: 20); Model2 picks b = " + std::to_string(b2) +
+             " (paper: 3)");
+  const double at_b1 = m2.total_time(nw, p, b1);
+  const double at_b2 = m2.total_time(nw, p, b2);
+  t.add_note("under the true costs, Model1's choice is " + fmt(at_b1 / at_b2, 3) +
+             "x slower than Model2's");
+
+  // "Even worse for larger numbers of processors": show the ratio growing.
+  Table t2("Fig 5(b) coda: Model1's penalty grows with p");
+  t2.set_header({"p", "T(b1)/T(b2) under true costs"});
+  for (int pp : {4, 8, 16, 32, 64}) {
+    const Coord bb1 = m1.optimal_block_search(nw, pp);
+    const Coord bb2 = m2.optimal_block_search(nw, pp);
+    t2.add_row({std::to_string(pp),
+                fmt(m2.total_time(nw, pp, bb1) / m2.total_time(nw, pp, bb2), 4)});
+  }
+
+  t.print(std::cout);
+  t2.print(std::cout);
+  return 0;
+}

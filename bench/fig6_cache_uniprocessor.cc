@@ -1,0 +1,112 @@
+// Fig 6: potential uniprocessor speedup due to scan blocks from improved
+// cache behavior.
+//
+// Paper: on one node, array-language wavefront code whose statement loops
+// the compiler fails to fuse and interchange (pghpf -O1) runs far slower
+// than the scan-block version — up to 8.5x on the wavefront fragments
+// (T3E), 3x whole-program for Tomcatv, 7% for SIMPLE; more modest (up to
+// ~4x) on the PowerChallenge, whose slower processor makes cache misses
+// relatively cheaper.
+//
+// Here both versions run on the host CPU with column-major arrays (the
+// benchmarks' Fortran layout): the fused executor interchanges the loops so
+// the contiguous dimension is innermost; the unfused baseline executes
+// statement-at-a-time with temporaries in canonical order, striding memory.
+// This is real wall-clock measurement, not simulation.
+#include "bench_util.hh"
+
+using namespace wavepipe;
+using namespace wavepipe::bench;
+
+namespace {
+
+struct CacheRow {
+  std::string label;
+  double unfused_s;
+  double fused_s;
+};
+
+void add(Table& t, const CacheRow& r) {
+  t.add_row({r.label, fmt(r.unfused_s * 1e3, 4), fmt(r.fused_s * 1e3, 4),
+             fmt_speedup(r.unfused_s / r.fused_s)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const Coord n = opts.get_int("n", 768);
+  const double min_s = opts.get_double("min-seconds", 0.08);
+
+  Table t("Fig 6: uniprocessor speedup of scan blocks over unfused "
+          "array-language code (host CPU, column-major, n=" +
+          std::to_string(n) + ")");
+  t.set_header({"component", "unfused ms", "fused ms", "speedup"});
+
+  {
+    TomcatvConfig cfg;
+    cfg.n = n;
+    Tomcatv app(cfg, ProcGrid<2>({1, 1}), 0);
+
+    const auto& fwd = app.forward_plan();
+    const auto& bwd = app.backward_plan();
+    add(t, {"tomcatv wave 1 (fwd elim)",
+            time_per_rep([&] { run_unfused(fwd); }, min_s),
+            time_per_rep([&] { run_serial(fwd); }, min_s)});
+    add(t, {"tomcatv wave 2 (back subst)",
+            time_per_rep([&] { run_unfused(bwd); }, min_s),
+            time_per_rep([&] { run_serial(bwd); }, min_s)});
+    add(t, {"tomcatv whole program",
+            time_per_rep([&] { app.iterate_uniprocessor(false); }, min_s),
+            time_per_rep([&] { app.iterate_uniprocessor(true); }, min_s)});
+  }
+
+  {
+    SimpleConfig cfg;
+    cfg.n = n;
+    SimpleHydro app(cfg, ProcGrid<2>({1, 1}), 0);
+    const auto& fwd = app.forward_plan();
+    const auto& bwd = app.backward_plan();
+    add(t, {"simple wave 1 (conduction elim)",
+            time_per_rep([&] { run_unfused(fwd); }, min_s),
+            time_per_rep([&] { run_serial(fwd); }, min_s)});
+    add(t, {"simple wave 2 (back subst)",
+            time_per_rep([&] { run_unfused(bwd); }, min_s),
+            time_per_rep([&] { run_serial(bwd); }, min_s)});
+    add(t, {"simple whole program",
+            time_per_rep([&] { app.step_uniprocessor(false); }, min_s),
+            time_per_rep([&] { app.step_uniprocessor(true); }, min_s)});
+  }
+
+  t.add_note("paper shape: wavefront fragments speed up most (T3E up to "
+             "8.5x); whole-Tomcatv speeds up a lot (3x on the T3E), "
+             "whole-SIMPLE modestly (7%) because its wavefront fraction is "
+             "smaller");
+  t.print(std::cout);
+
+  // Coda: the same measurement with row-major arrays. The loop-structure
+  // derivation adapts its interchange to the storage order (dim 1
+  // innermost), so fused execution stays fast; the unfused baseline's
+  // canonical order happens to be row-major friendly, so the gap narrows —
+  // the Fig 6 effect is genuinely about layout-vs-loop-order, not about
+  // scan blocks being magic.
+  {
+    Table t2("Fig 6 coda: storage-order ablation (row-major, tomcatv waves, "
+             "n=" + std::to_string(n) + ")");
+    t2.set_header({"component", "unfused ms", "fused ms", "speedup"});
+    TomcatvConfig cfg;
+    cfg.n = n;
+    cfg.order = StorageOrder::kRowMajor;
+    Tomcatv app(cfg, ProcGrid<2>({1, 1}), 0);
+    const auto& fwd = app.forward_plan();
+    const auto& bwd = app.backward_plan();
+    add(t2, {"tomcatv wave 1 (row-major)",
+             time_per_rep([&] { run_unfused(fwd); }, min_s),
+             time_per_rep([&] { run_serial(fwd); }, min_s)});
+    add(t2, {"tomcatv wave 2 (row-major)",
+             time_per_rep([&] { run_unfused(bwd); }, min_s),
+             time_per_rep([&] { run_serial(bwd); }, min_s)});
+    t2.print(std::cout);
+  }
+  return 0;
+}

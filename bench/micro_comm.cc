@@ -1,0 +1,72 @@
+// Microbenchmarks: the message-passing substrate (google-benchmark).
+// Measures real host overheads of the threaded runtime: point-to-point
+// round trips across payload sizes, collectives across machine sizes, and
+// a ghost exchange.
+#include <benchmark/benchmark.h>
+
+#include "array/ghost.hh"
+#include "comm/machine.hh"
+
+namespace {
+
+using namespace wavepipe;
+
+void BM_PingPong(benchmark::State& state) {
+  const std::size_t elems = static_cast<std::size_t>(state.range(0));
+  Machine m(2);
+  for (auto _ : state) {
+    m.run([elems](Communicator& comm) {
+      std::vector<double> buf(elems, 1.0);
+      if (comm.rank() == 0) {
+        comm.send(1, std::span<const double>(buf));
+        comm.recv(1, std::span<double>(buf));
+      } else {
+        comm.recv(0, std::span<double>(buf));
+        comm.send(0, std::span<const double>(buf));
+      }
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(elems) * 8);
+}
+BENCHMARK(BM_PingPong)->Arg(1)->Arg(1024)->Arg(65536)->Iterations(200);
+
+void BM_Barrier(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  Machine m(p);
+  for (auto _ : state) {
+    m.run([](Communicator& comm) { comm.barrier(); });
+  }
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(8)->Iterations(200);
+
+void BM_AllreduceSum(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  Machine m(p);
+  for (auto _ : state) {
+    m.run([](Communicator& comm) {
+      benchmark::DoNotOptimize(comm.allreduce_sum(1.0));
+    });
+  }
+}
+BENCHMARK(BM_AllreduceSum)->Arg(2)->Arg(8)->Iterations(200);
+
+void BM_GhostExchange(benchmark::State& state) {
+  const Coord n = state.range(0);
+  const int p = 4;
+  Machine m(p);
+  const ProcGrid<2> grid = ProcGrid<2>::along_dim(p, 0);
+  for (auto _ : state) {
+    m.run([&](Communicator& comm) {
+      const Layout<2> layout(Region<2>({{1, 1}}, {{n, n}}), grid,
+                             Idx<2>{{1, 1}});
+      DistArray<double, 2> a("a", layout, comm.rank());
+      exchange_ghosts(a, comm, Idx<2>{{1, 1}});
+    });
+  }
+}
+BENCHMARK(BM_GhostExchange)->Arg(64)->Arg(256)->Iterations(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

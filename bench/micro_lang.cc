@@ -1,0 +1,110 @@
+// Microbenchmarks: the array-language execution paths (google-benchmark).
+// Quantifies the cost of the DSL against a hand-written loop nest — the
+// "language tax" a ZPL-style embedded language pays — and the value of the
+// fused pencil over the per-index fallback.
+#include <benchmark/benchmark.h>
+
+#include "exec/serial.hh"
+#include "exec/unfused.hh"
+
+namespace {
+
+using namespace wavepipe;
+
+constexpr Coord kN = 256;
+
+struct Arrays {
+  Arrays()
+      : all({{1, 1}}, {{kN, kN}}),
+        reg({{2, 2}}, {{kN - 1, kN - 1}}),
+        r("r", all),
+        aa("aa", all),
+        d("d", all),
+        dd("dd", all),
+        rx("rx", all) {
+    aa.fill(-1.0);
+    dd.fill(4.0);
+    d.fill(0.25);
+    rx.fill(1.0);
+    r.fill(0.0);
+  }
+  Region<2> all, reg;
+  DenseArray<Real, 2> r, aa, d, dd, rx;
+};
+
+void BM_HandWrittenLoops(benchmark::State& state) {
+  Arrays a;
+  for (auto _ : state) {
+    // The Fortran-style fused nest, column-major order (dim 0 inner).
+    for (Coord j = 2; j <= kN - 1; ++j) {
+      for (Coord i = 2; i <= kN - 1; ++i) {
+        const Real rr = a.aa(i, j) * a.d(i - 1, j);
+        a.r(i, j) = rr;
+        a.d(i, j) = 1.0 / (a.dd(i, j) - a.aa(i - 1, j) * rr);
+        a.rx(i, j) = a.rx(i, j) - a.rx(i - 1, j) * rr;
+      }
+    }
+    benchmark::DoNotOptimize(a.rx(kN - 1, kN - 1));
+  }
+  state.SetItemsProcessed(state.iterations() * (kN - 2) * (kN - 2));
+}
+BENCHMARK(BM_HandWrittenLoops)->Iterations(50);
+
+void BM_ScanBlockFused(benchmark::State& state) {
+  Arrays a;
+  auto plan = scan(a.reg, a.r <<= a.aa * prime(a.d, kNorth),
+                   a.d <<= 1.0 / (a.dd - at(a.aa, kNorth) * a.r),
+                   a.rx <<= a.rx - prime(a.rx, kNorth) * a.r)
+                  .compile();
+  for (auto _ : state) {
+    run_serial(plan);
+    benchmark::DoNotOptimize(a.rx(kN - 1, kN - 1));
+  }
+  state.SetItemsProcessed(state.iterations() * (kN - 2) * (kN - 2));
+}
+BENCHMARK(BM_ScanBlockFused)->Iterations(50);
+
+void BM_ScanBlockPerIndexFallback(benchmark::State& state) {
+  Arrays a;
+  ScanBlock<2> sb(a.reg);
+  sb.add(a.r <<= a.aa * prime(a.d, kNorth));
+  sb.add(a.d <<= 1.0 / (a.dd - at(a.aa, kNorth) * a.r));
+  sb.add(a.rx <<= a.rx - prime(a.rx, kNorth) * a.r);
+  auto plan = sb.compile();
+  for (auto _ : state) {
+    run_serial(plan);
+    benchmark::DoNotOptimize(a.rx(kN - 1, kN - 1));
+  }
+  state.SetItemsProcessed(state.iterations() * (kN - 2) * (kN - 2));
+}
+BENCHMARK(BM_ScanBlockPerIndexFallback)->Iterations(50);
+
+void BM_UnfusedArraySemantics(benchmark::State& state) {
+  Arrays a;
+  auto plan = scan(a.reg, a.r <<= a.aa * prime(a.d, kNorth),
+                   a.d <<= 1.0 / (a.dd - at(a.aa, kNorth) * a.r),
+                   a.rx <<= a.rx - prime(a.rx, kNorth) * a.r)
+                  .compile();
+  for (auto _ : state) {
+    run_unfused(plan);
+    benchmark::DoNotOptimize(a.rx(kN - 1, kN - 1));
+  }
+  state.SetItemsProcessed(state.iterations() * (kN - 2) * (kN - 2));
+}
+BENCHMARK(BM_UnfusedArraySemantics)->Iterations(20);
+
+void BM_CompilePlan(benchmark::State& state) {
+  Arrays a;
+  for (auto _ : state) {
+    auto plan = scan(a.reg, a.r <<= a.aa * prime(a.d, kNorth),
+                     a.d <<= 1.0 / (a.dd - at(a.aa, kNorth) * a.r),
+                     a.rx <<= a.rx - prime(a.rx, kNorth) * a.r)
+                    .compile();
+    benchmark::DoNotOptimize(plan.loops);
+  }
+}
+BENCHMARK(BM_CompilePlan)->Iterations(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// The wavefront benchmark suite (§6 future work): naive vs pipelined
+// execution of all five applications under the calibrated machine model,
+// with traffic statistics showing the block-size tradeoff.
+#include <iostream>
+
+#include "apps/suite.hh"
+#include "bench_util.hh"
+
+using namespace wavepipe;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const int p = static_cast<int>(opts.get_int("p", 8));
+  const int iterations = static_cast<int>(opts.get_int("iterations", 1));
+  const MachinePreset machine = t3e_like();
+
+  Table t("Wavefront suite: naive vs pipelined (" + std::string(machine.name) +
+          ", p=" + std::to_string(p) + ")");
+  t.set_header({"app", "n", "b", "naive vtime", "pipelined vtime", "speedup",
+                "naive msgs", "pipelined msgs"});
+
+  const auto suite = wavefront_suite();
+  for (const auto& app : suite) {
+    const Coord n = app.default_n;
+    const Coord block = app.name == "sweep3d"
+                            ? 6
+                            : select_block_static(machine.costs, n - 2, p);
+    const auto naive = app.run(p, machine.costs, n, iterations, 0);
+    const double naive_value = *app.last_value;
+    const auto pipe = app.run(p, machine.costs, n, iterations, block);
+    if (std::abs(*app.last_value - naive_value) >
+        1e-9 * (std::abs(naive_value) + 1.0)) {
+      std::cerr << "value mismatch for " << app.name << "\n";
+      return 1;
+    }
+    t.add_row({app.name, std::to_string(n), std::to_string(block),
+               fmt(naive.vtime_max, 6), fmt(pipe.vtime_max, 6),
+               fmt_speedup(naive.vtime_max / pipe.vtime_max),
+               std::to_string(naive.total.messages_sent),
+               std::to_string(pipe.total.messages_sent)});
+  }
+  for (const auto& app : suite)
+    t.add_note(app.name + ": " + app.wavefront_note);
+  t.print(std::cout);
+  return 0;
+}

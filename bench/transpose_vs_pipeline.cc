@@ -1,0 +1,91 @@
+// The paper's §2.2 Summary experiment: a program with both north-south and
+// east-west wavefronts, where the programmer must choose between pipelining
+// the distributed wavefront (the language-based guarantee) and transposing
+// so the wavefront becomes local ("this may be much slower than a fully
+// pipelined solution").
+//
+// Alternating-direction line Gauss-Seidel, T3E-like costs: the vertical
+// sweep is executed (a) pipelined with Eq (1)'s block, (b) via
+// transpose-compute-transpose. Both produce bit-identical fields.
+#include <iostream>
+
+#include "apps/alt_sweep.hh"
+#include "bench_util.hh"
+
+using namespace wavepipe;
+
+namespace {
+
+struct Outcome {
+  double vtime;
+  std::uint64_t messages;
+  std::uint64_t elements;
+};
+
+Outcome run_strategy(const CostModel& costs, Coord n, int p,
+                     VerticalStrategy strategy, Coord block, int iterations) {
+  AltSweepConfig cfg;
+  cfg.n = n;
+  cfg.iterations = iterations;
+  const ProcGrid<2> grid = ProcGrid<2>::along_dim(p, 0);
+  WaveOptions opts;
+  opts.block = block;
+  const auto res = Machine::run(p, costs, [&](Communicator& comm) {
+    alt_sweep_spmd(comm, cfg, grid, strategy, opts);
+  });
+  return Outcome{res.vtime_max, res.total.messages_sent,
+                 res.total.elements_sent};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const Coord n = opts.get_int("n", 256);
+  const int iterations = static_cast<int>(opts.get_int("iterations", 2));
+  const MachinePreset machine = t3e_like();
+
+  Table t("Transpose vs pipelining for alternating wavefronts (" +
+          std::string(machine.name) + ", n=" + std::to_string(n) + ")");
+  t.set_header({"p", "b*", "pipelined vt", "transpose vt",
+                "pipelined advantage", "transpose elems moved"});
+  for (int p : {2, 4, 8, 16}) {
+    const Coord b = select_block_static(machine.costs, n - 2, p);
+    const Outcome pipe = run_strategy(machine.costs, n, p,
+                                      VerticalStrategy::kPipelined, b,
+                                      iterations);
+    const Outcome trans = run_strategy(machine.costs, n, p,
+                                       VerticalStrategy::kTranspose, b,
+                                       iterations);
+    t.add_row({std::to_string(p), std::to_string(b), fmt(pipe.vtime, 6),
+               fmt(trans.vtime, 6), fmt_speedup(trans.vtime / pipe.vtime),
+               std::to_string(trans.elements)});
+  }
+  t.add_note("paper §2.2: transposing between wavefront directions \"may be "
+             "much slower than a fully pipelined solution\"");
+  t.print(std::cout);
+
+  // Where does the transpose win? Sweep beta: a machine with huge startup
+  // but near-free bandwidth favours few big messages over many small ones.
+  Table t2("Crossover study: strategy winner as bandwidth gets cheap (p=8)");
+  t2.set_header({"alpha", "beta", "pipelined vt", "transpose vt", "winner"});
+  for (const auto& [alpha, beta] :
+       std::vector<std::pair<double, double>>{{machine.costs.alpha, 1.675},
+                                              {2000.0, 0.2},
+                                              {8000.0, 0.02},
+                                              {20000.0, 0.0}}) {
+    CostModel cm;
+    cm.alpha = alpha;
+    cm.beta = beta;
+    const Coord b = select_block_static(cm, n - 2, 8);
+    const Outcome pipe =
+        run_strategy(cm, n, 8, VerticalStrategy::kPipelined, b, iterations);
+    const Outcome trans =
+        run_strategy(cm, n, 8, VerticalStrategy::kTranspose, b, iterations);
+    t2.add_row({fmt(alpha, 5), fmt(beta, 3), fmt(pipe.vtime, 6),
+                fmt(trans.vtime, 6),
+                pipe.vtime <= trans.vtime ? "pipelined" : "transpose"});
+  }
+  t2.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Smith-Waterman demo: pipelined dynamic programming. Aligns two random
+// sequences, validates against the quadratic reference, and shows the
+// wavefront plan the diagonal recurrence compiles to.
+//
+//   ./build/examples/smith_waterman_demo [--la=200] [--lb=180] [--p=4]
+#include <iostream>
+
+#include "apps/smith_waterman.hh"
+#include "model/machines.hh"
+#include "support/options.hh"
+#include "support/table.hh"
+
+using namespace wavepipe;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  SmithWatermanConfig cfg;
+  cfg.la = opts.get_int("la", 200);
+  cfg.lb = opts.get_int("lb", 180);
+  cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 42));
+  const int p = static_cast<int>(opts.get_int("p", 4));
+
+  std::cout << "Smith-Waterman local alignment, |a|=" << cfg.la
+            << " |b|=" << cfg.lb << "\n\n";
+
+  // Show the first few symbols and the compiled wavefront.
+  {
+    SmithWaterman app(cfg, ProcGrid<2>({1, 1}), 0);
+    std::cout << "a[1..12]: ";
+    for (Coord i = 1; i <= std::min<Coord>(12, cfg.la); ++i)
+      std::cout << "ACGT"[app.symbol_a(i) % 4];
+    std::cout << "\nb[1..12]: ";
+    for (Coord j = 1; j <= std::min<Coord>(12, cfg.lb); ++j)
+      std::cout << "ACGT"[app.symbol_b(j) % 4];
+    std::cout << "\n\nthe recurrence compiles to:\n";
+    auto check = check_wavefront<2>({kNorthWest, kNorth, kWest});
+    std::cout << "  WSV " << to_string(check.wsv)
+              << " -> wavefront along dim "
+              << *check.analysis.wavefront_dim
+              << ", second dimension serialized, pipelined in blocks\n\n";
+  }
+
+  // Distributed fill and validation.
+  const MachinePreset machine = t3e_like();
+  const ProcGrid<2> grid = ProcGrid<2>::along_dim(p, 0);
+  const Coord block = 16;
+
+  double score = 0.0;
+  auto res = Machine::run(p, machine.costs, [&](Communicator& comm) {
+    WaveOptions wopts;
+    wopts.block = block;
+    const Real s = smith_waterman_spmd(comm, cfg, grid, wopts);
+    if (comm.rank() == 0) score = s;
+  });
+
+  SmithWaterman ref(cfg, ProcGrid<2>({1, 1}), 0);
+  const Real expected = ref.reference_best_score();
+
+  Table t("pipelined DP fill (" + std::string(machine.name) + ", p=" +
+          std::to_string(p) + ", block=" + std::to_string(block) + ")");
+  t.set_header({"quantity", "value"});
+  t.add_row({"best local alignment score", fmt(score, 6)});
+  t.add_row({"reference DP score", fmt(expected, 6)});
+  t.add_row({"virtual time", fmt(res.vtime_max, 6)});
+  t.add_row({"messages", std::to_string(res.total.messages_sent)});
+  t.add_note(score == expected ? "scores agree" : "MISMATCH!");
+  t.print(std::cout);
+  return score == expected ? 0 : 1;
+}

@@ -1,0 +1,137 @@
+#include "apps/alt_sweep.hh"
+
+#include <cmath>
+
+namespace wavepipe {
+
+AltSweep::AltSweep(const AltSweepConfig& cfg, const ProcGrid<2>& grid,
+                   int rank)
+    : cfg_(cfg),
+      grid_(grid),
+      rank_(rank),
+      global_({{0, 0}}, {{cfg.n - 1, cfg.n - 1}}),
+      interior_({{1, 1}}, {{cfg.n - 2, cfg.n - 2}}),
+      layout_(global_, grid, Idx<2>{{1, 1}}),
+      u_("u", layout_, rank, cfg.order),
+      f_("f", layout_, rank, cfg.order),
+      g_("g", layout_, rank, cfg.order),
+      res_("res", layout_, rank, cfg.order),
+      tlayout_(transposed_layout(layout_)),
+      tinterior_(transposed_region(interior_)),
+      ut_("ut", tlayout_, rank, cfg.order),
+      ft_("ft", tlayout_, rank, cfg.order),
+      gt_("gt", tlayout_, rank, cfg.order),
+      vplan_(scan(interior_,
+                  u_.local() <<= (1.0 - cfg.omega) * u_.local() +
+                                 (cfg.omega * 0.25) *
+                                     (prime(u_.local(), kNorth) +
+                                      at(u_.local(), kSouth) + g_.local()))
+                 .compile()),
+      hplan_(scan(interior_,
+                  u_.local() <<= (1.0 - cfg.omega) * u_.local() +
+                                 (cfg.omega * 0.25) *
+                                     (prime(u_.local(), kWest) +
+                                      at(u_.local(), kEast) + g_.local()))
+                 .compile()),
+      // The vertical sweep mapped into the transposed world: (i, j) ->
+      // (j, i) turns north into west and south into east. Operand order
+      // mirrors vplan_ exactly so both strategies are bit-identical.
+      vtplan_(scan(tinterior_,
+                   ut_.local() <<= (1.0 - cfg.omega) * ut_.local() +
+                                   (cfg.omega * 0.25) *
+                                       (prime(ut_.local(), kWest) +
+                                        at(ut_.local(), kEast) + gt_.local()))
+                  .compile()) {
+  require(cfg.n >= 4, "AltSweep needs n >= 4");
+  init();
+}
+
+void AltSweep::init() {
+  const Real h = 1.0 / static_cast<Real>(cfg_.n - 1);
+  const Real pi = 3.14159265358979323846;
+  auto u0 = [&](Coord i0, Coord i1) {
+    const bool bdry = i0 <= 0 || i0 >= cfg_.n - 1 || i1 <= 0 ||
+                      i1 >= cfg_.n - 1;
+    return bdry ? static_cast<Real>(i0) * h + static_cast<Real>(i1) * h : 0.0;
+  };
+  auto f0 = [&](Coord i0, Coord i1) {
+    const Real xx = static_cast<Real>(i0) * h;
+    const Real yy = static_cast<Real>(i1) * h;
+    return h * h * 5.0 * pi * pi * std::sin(pi * xx) * std::sin(2.0 * pi * yy);
+  };
+  u_.local().fill_fn([&](const Idx<2>& i) { return u0(i.v[0], i.v[1]); });
+  f_.local().fill_fn([&](const Idx<2>& i) { return f0(i.v[0], i.v[1]); });
+  g_.local().fill(0.0);
+  res_.local().fill(0.0);
+  // Transposed twins: coordinates swapped. f is constant, so its transpose
+  // is filled once here, locally; u's transpose flows at runtime.
+  ut_.local().fill_fn([&](const Idx<2>& i) { return u0(i.v[1], i.v[0]); });
+  ft_.local().fill_fn([&](const Idx<2>& i) { return f0(i.v[1], i.v[0]); });
+  gt_.local().fill(0.0);
+}
+
+void AltSweep::vertical_pipelined(Communicator& comm,
+                                  const WaveOptions& opts) {
+  apply_distributed(interior_,
+                    g_.local() <<= at(u_.local(), kWest) +
+                                       at(u_.local(), kEast) + f_.local(),
+                    layout_, comm, /*tag_base=*/640);
+  run_wavefront(vplan_, layout_, comm, opts);
+}
+
+void AltSweep::vertical_by_transpose(Communicator& comm) {
+  transpose(u_, ut_, comm, 700);
+  apply_distributed(tinterior_,
+                    gt_.local() <<= at(ut_.local(), kNorth) +
+                                        at(ut_.local(), kSouth) + ft_.local(),
+                    tlayout_, comm, /*tag_base=*/660);
+  WaveOptions opts;  // wave dim is local after the transpose: no pipeline
+  opts.tag_base = 540;
+  run_wavefront(vtplan_, tlayout_, comm, opts);
+  transpose(ut_, u_, comm, 710);
+}
+
+void AltSweep::horizontal_local(Communicator& comm) {
+  apply_distributed(interior_,
+                    g_.local() <<= at(u_.local(), kNorth) +
+                                       at(u_.local(), kSouth) + f_.local(),
+                    layout_, comm, /*tag_base=*/680);
+  WaveOptions opts;
+  opts.tag_base = 580;
+  run_wavefront(hplan_, layout_, comm, opts);
+}
+
+void AltSweep::iterate(Communicator& comm, VerticalStrategy strategy,
+                       const WaveOptions& opts) {
+  if (strategy == VerticalStrategy::kPipelined)
+    vertical_pipelined(comm, opts);
+  else
+    vertical_by_transpose(comm);
+  horizontal_local(comm);
+}
+
+Real AltSweep::residual_norm(Communicator& comm) {
+  apply_distributed(interior_,
+                    res_.local() <<= at(u_.local(), kNorth) +
+                                         at(u_.local(), kSouth) +
+                                         at(u_.local(), kWest) +
+                                         at(u_.local(), kEast) -
+                                         4.0 * u_.local() + f_.local(),
+                    layout_, comm, /*tag_base=*/620);
+  return global_max_abs(res_.local(), interior_, layout_, comm);
+}
+
+Real AltSweep::checksum(Communicator& comm) {
+  return global_sum(u_.local(), interior_, layout_, comm);
+}
+
+Real alt_sweep_spmd(Communicator& comm, const AltSweepConfig& cfg,
+                    const ProcGrid<2>& grid, VerticalStrategy strategy,
+                    const WaveOptions& opts) {
+  AltSweep app(cfg, grid, comm.rank());
+  for (int it = 0; it < cfg.iterations; ++it)
+    app.iterate(comm, strategy, opts);
+  return app.residual_norm(comm);
+}
+
+}  // namespace wavepipe

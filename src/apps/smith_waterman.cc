@@ -1,0 +1,95 @@
+#include "apps/smith_waterman.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace wavepipe {
+
+SmithWaterman::SmithWaterman(const SmithWatermanConfig& cfg,
+                             const ProcGrid<2>& grid, int rank)
+    : cfg_(cfg),
+      grid_(grid),
+      rank_(rank),
+      global_({{0, 0}}, {{cfg.la, cfg.lb}}),
+      cells_({{1, 1}}, {{cfg.la, cfg.lb}}),
+      layout_(global_, grid, Idx<2>{{1, 1}}),
+      h_("H", layout_.allocated(rank), cfg.order),
+      s_("S", layout_.allocated(rank), cfg.order),
+      plan_(compile_fill()) {
+  require(cfg.la >= 1 && cfg.lb >= 1, "sequences must be non-empty");
+  init();
+}
+
+WavefrontPlan<2> SmithWaterman::compile_fill() {
+  const Real g = cfg_.gap;
+  return scan(cells_,
+              h_ <<= max_e(0.0,
+                           max_e(prime(h_, kNorthWest) + s_,
+                                 max_e(prime(h_, kNorth) - g,
+                                       prime(h_, kWest) - g))))
+      .compile();
+}
+
+int SmithWaterman::symbol_a(Coord i) const {
+  SplitMix64 rng(cfg_.seed * 2654435761ULL + static_cast<std::uint64_t>(i));
+  return static_cast<int>(rng.next() % static_cast<std::uint64_t>(cfg_.alphabet));
+}
+
+int SmithWaterman::symbol_b(Coord j) const {
+  SplitMix64 rng(cfg_.seed * 40503ULL + 0x9e3779b9ULL +
+                 static_cast<std::uint64_t>(j));
+  return static_cast<int>(rng.next() % static_cast<std::uint64_t>(cfg_.alphabet));
+}
+
+Real SmithWaterman::similarity(Coord i, Coord j) const {
+  return symbol_a(i) == symbol_b(j) ? cfg_.match : cfg_.mismatch;
+}
+
+void SmithWaterman::init() {
+  h_.fill(0.0);  // includes the zero boundary row/column and fluff
+  s_.fill_fn([&](const Idx<2>& i) {
+    if (i.v[0] < 1 || i.v[1] < 1) return 0.0;
+    return similarity(i.v[0], i.v[1]);
+  });
+}
+
+WaveReport<2> SmithWaterman::fill(Communicator& comm,
+                                  const WaveOptions& opts) {
+  return run_wavefront(plan_, layout_, comm, opts);
+}
+
+Real SmithWaterman::best_score(Communicator& comm) {
+  return global_max_abs(h_, cells_, layout_, comm);  // H >= 0, so max == max|.|
+}
+
+Real SmithWaterman::checksum(Communicator& comm) {
+  return global_sum(h_, cells_, layout_, comm);
+}
+
+Real SmithWaterman::reference_best_score() const {
+  const std::size_t cols = static_cast<std::size_t>(cfg_.lb) + 1;
+  std::vector<Real> prev(cols, 0.0), cur(cols, 0.0);
+  Real best = 0.0;
+  for (Coord i = 1; i <= cfg_.la; ++i) {
+    cur[0] = 0.0;
+    for (Coord j = 1; j <= cfg_.lb; ++j) {
+      const Real diag = prev[static_cast<std::size_t>(j - 1)] + similarity(i, j);
+      const Real up = prev[static_cast<std::size_t>(j)] - cfg_.gap;
+      const Real left = cur[static_cast<std::size_t>(j - 1)] - cfg_.gap;
+      cur[static_cast<std::size_t>(j)] =
+          std::max({0.0, diag, up, left});
+      best = std::max(best, cur[static_cast<std::size_t>(j)]);
+    }
+    std::swap(prev, cur);
+  }
+  return best;
+}
+
+Real smith_waterman_spmd(Communicator& comm, const SmithWatermanConfig& cfg,
+                         const ProcGrid<2>& grid, const WaveOptions& opts) {
+  SmithWaterman app(cfg, grid, comm.rank());
+  app.fill(comm, opts);
+  return app.best_score(comm);
+}
+
+}  // namespace wavepipe

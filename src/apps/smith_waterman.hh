@@ -1,0 +1,87 @@
+// Smith-Waterman local sequence alignment: the dynamic-programming family
+// of wavefront computations the paper's introduction cites.
+//
+// The score recurrence
+//
+//   H(i,j) = max(0, H(i-1,j-1) + S(i,j), H(i-1,j) - gap, H(i,j-1) - gap)
+//
+// is a scan block whose primed directions {(-1,-1), (-1,0), (0,-1)} give
+// WSV (-,-): the wavefront travels along the first dimension (sequence a),
+// the second is serialized, and pipelining in blocks of b columns recovers
+// parallelism — the classic pipelined DP. The diagonal dependence exercises
+// the executors' lateral-halo handling.
+#pragma once
+
+#include "exec/driver.hh"
+#include "exec/unfused.hh"
+#include "support/rng.hh"
+
+namespace wavepipe {
+
+struct SmithWatermanConfig {
+  Coord la = 64;   // length of sequence a (rows)
+  Coord lb = 64;   // length of sequence b (columns)
+  Real match = 2.0;
+  Real mismatch = -1.0;
+  Real gap = 1.0;  // linear gap penalty (subtracted)
+  int alphabet = 4;
+  std::uint64_t seed = 42;
+  StorageOrder order = StorageOrder::kColMajor;
+};
+
+class SmithWaterman {
+ public:
+  SmithWaterman(const SmithWatermanConfig& cfg, const ProcGrid<2>& grid,
+                int rank);
+
+  SmithWaterman(const SmithWaterman&) = delete;
+  SmithWaterman& operator=(const SmithWaterman&) = delete;
+
+  /// Deterministic random sequences and the similarity matrix S.
+  void init();
+
+  /// Fills the whole score matrix (one wavefront; collective).
+  WaveReport<2> fill(Communicator& comm, const WaveOptions& opts = {});
+
+  /// Best local-alignment score (collective).
+  Real best_score(Communicator& comm);
+
+  Real checksum(Communicator& comm);
+
+  /// The symbol of sequence a/b at a 1-based position (same on all ranks).
+  int symbol_a(Coord i) const;
+  int symbol_b(Coord j) const;
+
+  const Layout<2>& layout() const { return layout_; }
+  const Region<2>& cells() const { return cells_; }
+  DenseArray<Real, 2>& h() { return h_; }
+  Coord wave_elements() const { return cells_.size(); }
+
+  /// Uniprocessor entry points (1x1 grid).
+  void fill_fused() { run_serial(plan_); }
+  void fill_unfused() { run_unfused(plan_); }
+
+  /// Plain-loop reference DP over the full problem (any rank; no comm).
+  /// Returns the best score; used by tests to validate the DSL result.
+  Real reference_best_score() const;
+
+ private:
+  WavefrontPlan<2> compile_fill();
+  Real similarity(Coord i, Coord j) const;
+
+  SmithWatermanConfig cfg_;
+  ProcGrid<2> grid_;
+  int rank_;
+  Region<2> global_;  // [0..la, 0..lb]: row/col 0 are the zero boundary
+  Region<2> cells_;   // [1..la, 1..lb]
+  Layout<2> layout_;
+  DenseArray<Real, 2> h_, s_;
+  WavefrontPlan<2> plan_;
+};
+
+/// SPMD driver: init + fill; returns the best score.
+Real smith_waterman_spmd(Communicator& comm, const SmithWatermanConfig& cfg,
+                         const ProcGrid<2>& grid,
+                         const WaveOptions& opts = {});
+
+}  // namespace wavepipe

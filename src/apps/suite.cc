@@ -1,0 +1,134 @@
+#include "apps/suite.hh"
+
+#include "apps/simple_hydro.hh"
+#include "apps/smith_waterman.hh"
+#include "apps/sor.hh"
+#include "apps/sweep3d.hh"
+#include "apps/tomcatv.hh"
+
+namespace wavepipe {
+
+namespace {
+
+WaveOptions wave_opts(Coord block) {
+  WaveOptions o;
+  o.block = block;
+  return o;
+}
+
+}  // namespace
+
+std::vector<SuiteApp> wavefront_suite() {
+  std::vector<SuiteApp> suite;
+
+  {
+    SuiteApp app;
+    app.name = "tomcatv";
+    app.wavefront_note = "2 waves/iter: forward elim (N->S) + back subst (S->N)";
+    app.default_n = 128;
+    app.last_value = std::make_shared<double>(0.0);
+    auto value = app.last_value;
+    app.run = [value](int p, const CostModel& costs, Coord n, int iters,
+                      Coord block) {
+      TomcatvConfig cfg;
+      cfg.n = n;
+      cfg.iterations = iters;
+      const ProcGrid<2> grid = ProcGrid<2>::along_dim(p, 0);
+      return Machine::run(p, costs, [&](Communicator& comm) {
+        const Real v = tomcatv_spmd(comm, cfg, grid, wave_opts(block));
+        if (comm.rank() == 0) *value = v;
+      });
+    };
+    suite.push_back(std::move(app));
+  }
+
+  {
+    SuiteApp app;
+    app.name = "simple";
+    app.wavefront_note = "2 waves/step: conduction elim + back subst";
+    app.default_n = 128;
+    app.last_value = std::make_shared<double>(0.0);
+    auto value = app.last_value;
+    app.run = [value](int p, const CostModel& costs, Coord n, int iters,
+                      Coord block) {
+      SimpleConfig cfg;
+      cfg.n = n;
+      cfg.iterations = iters;
+      const ProcGrid<2> grid = ProcGrid<2>::along_dim(p, 0);
+      return Machine::run(p, costs, [&](Communicator& comm) {
+        const Real v = simple_spmd(comm, cfg, grid, wave_opts(block));
+        if (comm.rank() == 0) *value = v;
+      });
+    };
+    suite.push_back(std::move(app));
+  }
+
+  {
+    SuiteApp app;
+    app.name = "sweep3d";
+    app.wavefront_note = "8 octant sweeps/iter, rank-3 wavefronts";
+    app.default_n = 24;
+    app.last_value = std::make_shared<double>(0.0);
+    auto value = app.last_value;
+    app.run = [value](int p, const CostModel& costs, Coord n, int iters,
+                      Coord block) {
+      Sweep3dConfig cfg;
+      cfg.n = n;
+      cfg.iterations = iters;
+      const ProcGrid<3> grid = ProcGrid<3>::along_dim(p, 0);
+      return Machine::run(p, costs, [&](Communicator& comm) {
+        const Real v = sweep3d_spmd(comm, cfg, grid, wave_opts(block));
+        if (comm.rank() == 0) *value = v;
+      });
+    };
+    suite.push_back(std::move(app));
+  }
+
+  {
+    SuiteApp app;
+    app.name = "smith-waterman";
+    app.wavefront_note = "single DP fill, diagonal dependence";
+    app.default_n = 256;
+    app.last_value = std::make_shared<double>(0.0);
+    auto value = app.last_value;
+    app.run = [value](int p, const CostModel& costs, Coord n, int iters,
+                      Coord block) {
+      SmithWatermanConfig cfg;
+      cfg.la = n;
+      cfg.lb = n;
+      const ProcGrid<2> grid = ProcGrid<2>::along_dim(p, 0);
+      return Machine::run(p, costs, [&](Communicator& comm) {
+        Real v = 0.0;
+        for (int it = 0; it < iters; ++it)
+          v = smith_waterman_spmd(comm, cfg, grid, wave_opts(block));
+        if (comm.rank() == 0) *value = v;
+      });
+    };
+    suite.push_back(std::move(app));
+  }
+
+  {
+    SuiteApp app;
+    app.name = "sor";
+    app.wavefront_note = "natural-ordering Gauss-Seidel sweeps";
+    app.default_n = 128;
+    app.last_value = std::make_shared<double>(0.0);
+    auto value = app.last_value;
+    app.run = [value](int p, const CostModel& costs, Coord n, int iters,
+                      Coord block) {
+      SorConfig cfg;
+      cfg.n = n;
+      cfg.iterations = iters;
+      const ProcGrid<2> grid = ProcGrid<2>::along_dim(p, 0);
+      return Machine::run(p, costs, [&](Communicator& comm) {
+        const Real v = sor_spmd(comm, cfg, grid, wave_opts(block));
+        if (comm.rank() == 0) *value = v;
+      });
+    };
+    suite.push_back(std::move(app));
+  }
+
+  return suite;
+}
+
+}  // namespace wavepipe

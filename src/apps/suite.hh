@@ -1,0 +1,41 @@
+// The wavefront benchmark suite (the paper's §6 future work: "We will also
+// develop a benchmark suite of wavefront computations in order to evaluate
+// our design and implementation").
+//
+// Five applications, one uniform adapter each, so benches can sweep
+// machines, processor counts and block sizes across all of them: Tomcatv,
+// SIMPLE, SWEEP3D, Smith-Waterman, and SOR.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/machine.hh"
+#include "index/index.hh"
+
+namespace wavepipe {
+
+struct SuiteApp {
+  std::string name;
+  /// A short note on the app's wavefront structure (printed by benches).
+  std::string wavefront_note;
+  /// Default problem size for suite benches.
+  Coord default_n;
+  /// Runs the app SPMD on p ranks (distributed along its wavefront
+  /// dimension) under `costs`, with pipeline block `block` (0 = naive),
+  /// `iters` outer iterations at size n. Returns the machine result
+  /// (virtual times, traffic).
+  std::function<RunResult(int p, const CostModel& costs, Coord n, int iters,
+                          Coord block)>
+      run;
+  /// The app's result value from the last run (checksum/score/flux),
+  /// written by run(); lets benches assert naive == pipelined.
+  std::shared_ptr<double> last_value;
+};
+
+/// The five-app registry.
+std::vector<SuiteApp> wavefront_suite();
+
+}  // namespace wavepipe

@@ -1,0 +1,7 @@
+// Ghost exchange is header-only (ghost.hh); this unit anchors the wp_array
+// library.
+#include "array/ghost.hh"
+
+namespace wavepipe {
+// No out-of-line definitions; see ghost.hh.
+}  // namespace wavepipe

@@ -1,0 +1,127 @@
+// Ghost (fluff) exchange for @-shift references.
+//
+// Unprimed @-references of arrays not written in a scan block read
+// neighbour values computed *before* the block; those flow through a
+// conventional halo exchange, implemented here. (Primed references flow
+// through the wavefront executors' pipelined sends instead.)
+#pragma once
+
+#include <vector>
+
+#include "array/dist_array.hh"
+#include "comm/communicator.hh"
+
+namespace wavepipe {
+
+/// A direction that is `amount` along dimension d and zero elsewhere.
+template <Rank R>
+constexpr Direction<R> face_shift(Rank d, Coord amount) {
+  Direction<R> dir{};
+  dir.v[d] = amount;
+  return dir;
+}
+
+/// Packs the values of `a` on `face` (global indices, must be inside the
+/// allocated region) into a flat buffer in canonical order.
+template <typename T, Rank R>
+std::vector<T> pack_region(const DenseArray<T, R>& a, const Region<R>& face) {
+  std::vector<T> buf;
+  buf.reserve(static_cast<std::size_t>(face.size()));
+  for_each(face, [&](const Idx<R>& i) { buf.push_back(a(i)); });
+  return buf;
+}
+
+/// Unpacks a flat buffer (canonical order) into `a` on `face`.
+template <typename T, Rank R>
+void unpack_region(DenseArray<T, R>& a, const Region<R>& face,
+                   const std::vector<T>& buf) {
+  require(static_cast<Coord>(buf.size()) == face.size(),
+          "unpack buffer size mismatch");
+  std::size_t k = 0;
+  for_each(face, [&](const Idx<R>& i) { a(i) = buf[k++]; });
+}
+
+/// Exchanges `width[d]`-deep faces of the owned region with both neighbours
+/// along every distributed dimension, filling the fluff cells that the
+/// @-shifts of a statement read. Dimensions are exchanged in order, and the
+/// faces sent along dimension d are expanded by the widths of dimensions
+/// < d, so corner fluff (diagonal stencils) propagates transitively.
+/// Collective: must be called by every rank of the grid. This overload
+/// works on a local DenseArray (as the wavefront executors hold them); the
+/// DistArray overload below delegates here.
+template <typename T, Rank R>
+void exchange_ghosts(DenseArray<T, R>& local, const Layout<R>& layout,
+                     int rank, Communicator& comm, const Idx<R>& width,
+                     int tag_base = 100) {
+  const ProcGrid<R>& grid = layout.grid();
+  const Region<R> owned = layout.owned(rank);
+  if (owned.empty()) return;
+
+  // The region a face spans in dimensions other than the exchange
+  // dimension, growing as earlier dimensions complete their exchanges.
+  Region<R> span = owned;
+
+  for (Rank d = 0; d < R; ++d) {
+    if (width.v[d] <= 0) continue;
+    if (!grid.distributed(d)) {
+      span = span.with_dim(d, span.lo(d) - width.v[d], span.hi(d) + width.v[d])
+                 .intersect(local.region());
+      continue;
+    }
+
+    const int low_nbr = grid.neighbor(rank, d, -1);
+    const int high_nbr = grid.neighbor(rank, d, +1);
+    const int tag_up = tag_base + 2 * static_cast<int>(d);        // toward -d
+    const int tag_down = tag_base + 2 * static_cast<int>(d) + 1;  // toward +d
+    const Coord w = width.v[d];
+
+    // Send both faces before receiving: sends are buffered, so the
+    // symmetric pattern cannot deadlock.
+    if (low_nbr >= 0) {
+      auto buf = pack_region(local, span.low_face(d, w));
+      comm.send(low_nbr, std::span<const T>(buf), tag_up);
+    }
+    if (high_nbr >= 0) {
+      auto buf = pack_region(local, span.high_face(d, w));
+      comm.send(high_nbr, std::span<const T>(buf), tag_down);
+    }
+    if (low_nbr >= 0) {
+      const Region<R> fluff_lo =
+          span.low_face(d, w).shifted(face_shift<R>(d, -w));
+      require(local.region().contains(fluff_lo),
+              "array '" + local.name() +
+                  "' allocates too little fluff for a ghost exchange of "
+                  "width " + std::to_string(w) + " along dimension " +
+                  std::to_string(d));
+      std::vector<T> buf(static_cast<std::size_t>(fluff_lo.size()));
+      comm.recv(low_nbr, std::span<T>(buf), tag_down);
+      unpack_region(local, fluff_lo, buf);
+    }
+    if (high_nbr >= 0) {
+      const Region<R> fluff_hi =
+          span.high_face(d, w).shifted(face_shift<R>(d, w));
+      require(local.region().contains(fluff_hi),
+              "array '" + local.name() +
+                  "' allocates too little fluff for a ghost exchange of "
+                  "width " + std::to_string(w) + " along dimension " +
+                  std::to_string(d));
+      std::vector<T> buf(static_cast<std::size_t>(fluff_hi.size()));
+      comm.recv(high_nbr, std::span<T>(buf), tag_up);
+      unpack_region(local, fluff_hi, buf);
+    }
+
+    // Dimension d is now coherent out to the fluff; later dimensions'
+    // faces include it so corners become coherent too.
+    span = span.with_dim(d, span.lo(d) - w, span.hi(d) + w)
+               .intersect(local.region());
+  }
+}
+
+/// DistArray convenience overload.
+template <typename T, Rank R>
+void exchange_ghosts(DistArray<T, R>& a, Communicator& comm,
+                     const Idx<R>& width, int tag_base = 100) {
+  exchange_ghosts(a.local(), a.layout(), a.rank(), comm, width, tag_base);
+}
+
+}  // namespace wavepipe

@@ -1,0 +1,6 @@
+// Array I/O is header-only (io.hh); this unit anchors the wp_array library.
+#include "array/io.hh"
+
+namespace wavepipe {
+// No out-of-line definitions; see io.hh.
+}  // namespace wavepipe

@@ -1,0 +1,83 @@
+// Whole-array movement between root and the machine, plus textual dumps.
+//
+// gather_to_root / scatter_from_root let drivers initialize problems on
+// rank 0, distribute them, and collect results for verification — the
+// pattern every test of executor equivalence uses.
+#pragma once
+
+#include <iomanip>
+#include <optional>
+#include <ostream>
+
+#include "array/ghost.hh"
+
+namespace wavepipe {
+
+/// Collects the owned blocks of every rank onto rank 0 as one dense array
+/// over the global region. Returns nullopt on non-root ranks. Collective.
+template <typename T, Rank R>
+std::optional<DenseArray<T, R>> gather_to_root(const DistArray<T, R>& a,
+                                               Communicator& comm,
+                                               int tag = 900) {
+  const Layout<R>& layout = a.layout();
+  if (comm.rank() != 0) {
+    if (!a.owned().empty()) {
+      auto buf = pack_region(a.local(), a.owned());
+      comm.send(0, std::span<const T>(buf), tag);
+    }
+    return std::nullopt;
+  }
+  DenseArray<T, R> full(a.name(), layout.global(), a.local().order());
+  for_each(a.owned(), [&](const Idx<R>& i) { full(i) = a.local()(i); });
+  for (int r = 1; r < comm.size(); ++r) {
+    const Region<R> owned_r = layout.owned(r);
+    if (owned_r.empty()) continue;
+    std::vector<T> buf(static_cast<std::size_t>(owned_r.size()));
+    comm.recv(r, std::span<T>(buf), tag);
+    unpack_region(full, owned_r, buf);
+  }
+  return full;
+}
+
+/// Distributes `full` (valid on rank 0 only) into each rank's owned block.
+/// Collective.
+template <typename T, Rank R>
+void scatter_from_root(const DenseArray<T, R>* full, DistArray<T, R>& a,
+                       Communicator& comm, int tag = 901) {
+  const Layout<R>& layout = a.layout();
+  if (comm.rank() == 0) {
+    require(full != nullptr, "root must supply the full array");
+    require(full->region().contains(layout.global()),
+            "scatter source must cover the global region");
+    for_each(a.owned(), [&](const Idx<R>& i) { a.local()(i) = (*full)(i); });
+    for (int r = 1; r < comm.size(); ++r) {
+      const Region<R> owned_r = layout.owned(r);
+      if (owned_r.empty()) continue;
+      auto buf = pack_region(*full, owned_r);
+      comm.send(r, std::span<const T>(buf), tag);
+    }
+  } else {
+    if (!a.owned().empty()) {
+      std::vector<T> buf(static_cast<std::size_t>(a.owned().size()));
+      comm.recv(0, std::span<T>(buf), tag);
+      unpack_region(a.local(), a.owned(), buf);
+    }
+  }
+}
+
+/// Prints a rank-2 array as a matrix (tests, examples; small arrays only).
+template <typename T>
+void print_matrix(std::ostream& os, const DenseArray<T, 2>& a, int width = 8,
+                  int precision = 3) {
+  const Region<2>& r = a.region();
+  os << a.name() << " " << to_string(r) << ":\n";
+  for (Coord i = r.lo(0); i <= r.hi(0); ++i) {
+    for (Coord j = r.lo(1); j <= r.hi(1); ++j) {
+      os << std::setw(width) << std::setprecision(precision)
+         << a(Idx<2>{{i, j}});
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace wavepipe

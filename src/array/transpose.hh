@@ -1,0 +1,84 @@
+// Distributed 2-D transpose.
+//
+// ZPL programs that cannot (or whose compiler will not) pipeline a
+// wavefront can instead transpose the data so the wavefront dimension
+// becomes processor-local (paper §2.2, Summary: "perform a transposition
+// between each north-south and east-west wavefront, eliminating the need
+// for pipelining. This may be much slower than a fully pipelined
+// solution."). This header provides the all-to-all transpose that strategy
+// needs; bench/transpose_vs_pipeline quantifies the comparison.
+#pragma once
+
+#include "array/io.hh"
+
+namespace wavepipe {
+
+/// The transpose of a rank-2 region: [a..b, c..d] -> [c..d, a..b].
+inline Region<2> transposed_region(const Region<2>& r) {
+  return Region<2>({{r.lo(1), r.lo(0)}}, {{r.hi(1), r.hi(0)}});
+}
+
+/// A layout for the transpose of `src`: global region transposed, the
+/// *same* processor grid, fluff widths swapped. Keeping the grid is what
+/// makes the transpose useful against wavefronts: data serialized across
+/// processors along dimension 0 becomes processor-local along dimension 1
+/// of the transposed array.
+inline Layout<2> transposed_layout(const Layout<2>& src) {
+  return Layout<2>(transposed_region(src.global()), src.grid(),
+                   Idx<2>{{src.fluff().v[1], src.fluff().v[0]}});
+}
+
+/// dst(j, i) = src(i, j) across the machine. `dst` must live on the
+/// transposed layout (same machine size). All-to-all: every rank sends
+/// each peer the intersection of its owned data with the peer's
+/// (back-transposed) destination block. Collective.
+template <typename T>
+void transpose(const DistArray<T, 2>& src, DistArray<T, 2>& dst,
+               Communicator& comm, int tag_base = 700) {
+  const Layout<2>& sl = src.layout();
+  const Layout<2>& dl = dst.layout();
+  require(dl.global() == transposed_region(sl.global()),
+          "destination layout must cover the transposed global region");
+  require(sl.grid().size() == comm.size() && dl.grid().size() == comm.size(),
+          "transpose layouts must span the whole machine");
+
+  const int p = comm.size();
+  const int me = comm.rank();
+
+  // What rank a must send rank b: src values on T(owned_dst(b)) ∩
+  // owned_src(a), packed in that intersection's canonical order. Both
+  // sides compute the same region independently.
+  auto chunk_region = [&](int from, int to) {
+    return transposed_region(dl.owned(to)).intersect(sl.owned(from));
+  };
+
+  // Local part without communication.
+  {
+    const Region<2> mine = chunk_region(me, me);
+    for_each(mine, [&](const Idx<2>& i) {
+      dst(Idx<2>{{i.v[1], i.v[0]}}) = src(i);
+    });
+  }
+
+  // Sends first (buffered), then receives: no deadlock.
+  for (int to = 0; to < p; ++to) {
+    if (to == me) continue;
+    const Region<2> reg = chunk_region(me, to);
+    if (reg.empty()) continue;
+    const auto buf = pack_region(src.local(), reg);
+    comm.send(to, std::span<const T>(buf), tag_base);
+  }
+  for (int from = 0; from < p; ++from) {
+    if (from == me) continue;
+    const Region<2> reg = chunk_region(from, me);
+    if (reg.empty()) continue;
+    std::vector<T> buf(static_cast<std::size_t>(reg.size()));
+    comm.recv(from, std::span<T>(buf), tag_base);
+    std::size_t k = 0;
+    for_each(reg, [&](const Idx<2>& i) {
+      dst(Idx<2>{{i.v[1], i.v[0]}}) = buf[k++];
+    });
+  }
+}
+
+}  // namespace wavepipe

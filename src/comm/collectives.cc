@@ -1,0 +1,22 @@
+// Non-template collective implementations. The tree-shaped data collectives
+// live as templates in communicator.hh; the barrier lives here.
+#include "comm/communicator.hh"
+#include "comm/machine.hh"
+
+namespace wavepipe {
+
+void Communicator::barrier() {
+  // A barrier is an allreduce of nothing: a zero-payload reduce to rank 0
+  // followed by a zero-payload broadcast. Virtual clocks synchronize to the
+  // slowest participant plus the two tree traversals' alpha costs, which is
+  // the standard log-depth barrier model.
+  std::uint8_t token = 0;
+  reduce_to_root(std::span<std::uint8_t>(&token, 1),
+                 [](std::uint8_t, std::uint8_t) { return std::uint8_t{0}; },
+                 internal_tags::kBarrier);
+  broadcast_from_root(std::span<std::uint8_t>(&token, 1),
+                      internal_tags::kBarrier);
+  note_collective();
+}
+
+}  // namespace wavepipe

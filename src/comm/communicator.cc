@@ -1,0 +1,74 @@
+#include "comm/communicator.hh"
+
+#include <cstring>
+
+#include "comm/machine.hh"
+
+namespace wavepipe {
+
+Communicator::Communicator(Machine& machine, int rank)
+    : machine_(machine), rank_(rank) {
+  require(rank >= 0 && rank < machine.size(), "communicator rank out of range");
+}
+
+int Communicator::size() const { return machine_.size(); }
+
+const CostModel& Communicator::costs() const { return machine_.costs(); }
+
+void Communicator::compute(double elements) {
+  vtime_ += elements * machine_.costs().compute_per_element;
+}
+
+void Communicator::send_bytes(int dst, int tag,
+                              std::span<const std::byte> payload,
+                              std::size_t elements) {
+  require(dst >= 0 && dst < machine_.size(), "send destination out of range");
+  require(dst != rank_, "a rank may not send to itself");
+
+  const CostModel& cm = machine_.costs();
+  Message m;
+  m.src = rank_;
+  m.tag = tag;
+  m.elements = elements;
+  m.payload.assign(payload.begin(), payload.end());
+  if (cm.occupy_sender) {
+    vtime_ += cm.message_cost(elements);
+    m.arrival_vtime = vtime_;
+  } else {
+    m.arrival_vtime = vtime_ + cm.message_cost(elements);
+    vtime_ += cm.send_overhead;
+  }
+
+  ++stats_.messages_sent;
+  stats_.elements_sent += elements;
+  stats_.bytes_sent += payload.size();
+
+  machine_.mailbox(dst).deposit(std::move(m));
+}
+
+void Communicator::recv_bytes(int src, int tag, std::span<std::byte> out,
+                              std::size_t expected_elements) {
+  require(src >= 0 && src < machine_.size(), "recv source out of range");
+  require(src != rank_, "a rank may not receive from itself");
+
+  Message m = machine_.mailbox(rank_).await(src, tag);
+  if (m.elements != expected_elements || m.payload.size() != out.size()) {
+    throw CommError("message size mismatch: rank " + std::to_string(rank_) +
+                    " expected " + std::to_string(expected_elements) +
+                    " elements (" + std::to_string(out.size()) +
+                    " bytes) from rank " + std::to_string(src) + " tag " +
+                    std::to_string(tag) + ", got " +
+                    std::to_string(m.elements) + " elements (" +
+                    std::to_string(m.payload.size()) + " bytes)");
+  }
+  std::memcpy(out.data(), m.payload.data(), m.payload.size());
+  if (m.arrival_vtime > vtime_) vtime_ = m.arrival_vtime;
+  ++stats_.messages_received;
+}
+
+bool Communicator::probe(int src, int tag) {
+  require(src >= 0 && src < machine_.size(), "probe source out of range");
+  return machine_.mailbox(rank_).probe(src, tag);
+}
+
+}  // namespace wavepipe

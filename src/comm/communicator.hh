@@ -1,0 +1,242 @@
+// The per-rank communication handle: typed point-to-point messaging,
+// tree-based collectives, and the virtual clock.
+//
+// Semantics mirror a small, useful subset of MPI:
+//   * send() is buffered and never blocks on the receiver;
+//   * recv() blocks until the matching (src, tag) message arrives;
+//   * matching is FIFO per (src, tag) pair;
+//   * collectives must be entered by every rank of the machine.
+//
+// Virtual time: under a non-free CostModel each rank carries a virtual
+// clock. compute() advances it by work*compute_per_element; a message sent
+// at sender time t becomes available to the receiver at t + alpha + beta*n;
+// recv() advances the receiver's clock to max(own, arrival). Because
+// arrival stamps depend only on program order, virtual times are
+// deterministic regardless of host thread scheduling.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "comm/cost_model.hh"
+#include "comm/mailbox.hh"
+#include "comm/stats.hh"
+#include "support/error.hh"
+
+namespace wavepipe {
+
+class Machine;
+
+namespace internal_tags {
+// Negative tags are reserved for collectives; user tags must be >= 0.
+inline constexpr int kReduce = -1;
+inline constexpr int kBroadcast = -2;
+inline constexpr int kBarrier = -3;
+inline constexpr int kGatherSize = -4;
+inline constexpr int kGatherData = -5;
+}  // namespace internal_tags
+
+class Communicator {
+ public:
+  Communicator(Machine& machine, int rank);
+
+  Communicator(const Communicator&) = delete;
+  Communicator& operator=(const Communicator&) = delete;
+
+  int rank() const { return rank_; }
+  int size() const;
+  const CostModel& costs() const;
+
+  // ---- virtual time ----
+
+  /// Charges `elements` worth of computation to this rank's virtual clock.
+  void compute(double elements);
+
+  /// Advances the clock by an absolute amount of virtual time.
+  void advance_time(double dt) { vtime_ += dt; }
+
+  double vtime() const { return vtime_; }
+
+  // ---- point-to-point ----
+
+  /// Sends `data` to rank `dst`. Buffered: returns as soon as the payload
+  /// is copied into the destination mailbox.
+  template <typename T>
+  void send(int dst, std::span<const T> data, int tag = 0) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "wavepipe messages carry trivially copyable elements");
+    require(tag >= 0, "user message tags must be >= 0");
+    send_bytes(dst, tag, as_bytes(data), data.size());
+  }
+
+  /// Sends a single value.
+  template <typename T>
+  void send_value(int dst, const T& v, int tag = 0) {
+    send(dst, std::span<const T>(&v, 1), tag);
+  }
+
+  /// Receives exactly out.size() elements from `src` into `out`.
+  template <typename T>
+  void recv(int src, std::span<T> out, int tag = 0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require(tag >= 0, "user message tags must be >= 0");
+    recv_bytes(src, tag, as_writable_bytes(out), out.size());
+  }
+
+  template <typename T>
+  T recv_value(int src, int tag = 0) {
+    T v{};
+    recv(src, std::span<T>(&v, 1), tag);
+    return v;
+  }
+
+  /// True if a message from (src, tag) is already queued.
+  bool probe(int src, int tag = 0);
+
+  // ---- collectives (binomial trees over point-to-point) ----
+
+  /// Blocks until every rank arrives; virtual clocks synchronize to the
+  /// slowest rank plus the tree traversal cost.
+  void barrier();
+
+  /// Element-wise reduction of `data` across all ranks with `op`; the
+  /// result lands in `data` on every rank (MPI_Allreduce).
+  template <typename T, typename Op>
+  void allreduce(std::span<T> data, Op op) {
+    reduce_to_root(data, op, internal_tags::kReduce);
+    broadcast_from_root(data, internal_tags::kBroadcast);
+    note_collective();
+  }
+
+  template <typename T>
+  T allreduce_sum(T v) {
+    allreduce(std::span<T>(&v, 1), [](T a, T b) { return a + b; });
+    return v;
+  }
+
+  template <typename T>
+  T allreduce_max(T v) {
+    allreduce(std::span<T>(&v, 1), [](T a, T b) { return a < b ? b : a; });
+    return v;
+  }
+
+  template <typename T>
+  T allreduce_min(T v) {
+    allreduce(std::span<T>(&v, 1), [](T a, T b) { return b < a ? b : a; });
+    return v;
+  }
+
+  /// Broadcasts `data` from rank 0 to all ranks.
+  template <typename T>
+  void broadcast(std::span<T> data) {
+    broadcast_from_root(data, internal_tags::kBroadcast);
+    note_collective();
+  }
+
+  /// Gathers `local` from every rank onto rank 0, concatenated in rank
+  /// order. Non-root ranks get an empty vector. Chunks may differ in size.
+  template <typename T>
+  std::vector<T> gather(std::span<const T> local) {
+    std::vector<T> out;
+    if (rank_ == 0) {
+      out.insert(out.end(), local.begin(), local.end());
+      for (int r = 1; r < size(); ++r) {
+        std::uint64_t n = 0;
+        recv_internal(r, std::span<std::uint64_t>(&n, 1),
+                      internal_tags::kGatherSize);
+        std::vector<T> chunk(n);
+        if (n > 0)
+          recv_internal(r, std::span<T>(chunk), internal_tags::kGatherData);
+        out.insert(out.end(), chunk.begin(), chunk.end());
+      }
+    } else {
+      const std::uint64_t n = local.size();
+      send_internal(0, std::span<const std::uint64_t>(&n, 1),
+                    internal_tags::kGatherSize);
+      if (!local.empty()) send_internal(0, local, internal_tags::kGatherData);
+    }
+    note_collective();
+    return out;
+  }
+
+  // ---- stats ----
+
+  const CommStats& stats() const { return stats_; }
+
+ private:
+  template <typename T>
+  static std::span<const std::byte> as_bytes(std::span<const T> s) {
+    return {reinterpret_cast<const std::byte*>(s.data()), s.size_bytes()};
+  }
+  template <typename T>
+  static std::span<std::byte> as_writable_bytes(std::span<T> s) {
+    return {reinterpret_cast<std::byte*>(s.data()), s.size_bytes()};
+  }
+
+  // Core byte-level transport (implemented in communicator.cc).
+  void send_bytes(int dst, int tag, std::span<const std::byte> payload,
+                  std::size_t elements);
+  void recv_bytes(int src, int tag, std::span<std::byte> out,
+                  std::size_t expected_elements);
+
+  // Internal (negative-tag) variants used by collectives.
+  template <typename T>
+  void send_internal(int dst, std::span<const T> data, int tag) {
+    send_bytes(dst, tag, as_bytes(data), data.size());
+  }
+  template <typename T>
+  void recv_internal(int src, std::span<T> out, int tag) {
+    recv_bytes(src, tag, as_writable_bytes(out), out.size());
+  }
+
+  /// Binomial-tree reduce onto rank 0. At round `mask`, ranks with bit
+  /// `mask` set send their partial result downward and drop out; ranks with
+  /// the bit clear receive from `rank | mask` and fold it in.
+  template <typename T, typename Op>
+  void reduce_to_root(std::span<T> data, Op op, int tag) {
+    const int p = size();
+    std::vector<T> incoming(data.size());
+    for (int mask = 1; mask < p; mask <<= 1) {
+      if ((rank_ & mask) != 0) {
+        send_internal(rank_ - mask,
+                      std::span<const T>(data.data(), data.size()), tag);
+        return;
+      }
+      const int peer = rank_ | mask;
+      if (peer < p) {
+        recv_internal(peer, std::span<T>(incoming), tag);
+        for (std::size_t i = 0; i < data.size(); ++i)
+          data[i] = op(data[i], incoming[i]);
+      }
+    }
+  }
+
+  /// Binomial-tree broadcast from rank 0 (mirror of the reduce tree): at
+  /// round `mask`, ranks < mask (which already hold the data) send to
+  /// rank + mask; ranks in [mask, 2*mask) receive.
+  template <typename T>
+  void broadcast_from_root(std::span<T> data, int tag) {
+    const int p = size();
+    for (int mask = 1; mask < p; mask <<= 1) {
+      if (rank_ < mask) {
+        const int peer = rank_ + mask;
+        if (peer < p)
+          send_internal(peer, std::span<const T>(data.data(), data.size()),
+                        tag);
+      } else if (rank_ < 2 * mask) {
+        recv_internal(rank_ - mask, data, tag);
+      }
+    }
+  }
+
+  void note_collective() { ++stats_.collectives; }
+
+  Machine& machine_;
+  int rank_;
+  double vtime_ = 0.0;
+  CommStats stats_;
+};
+
+}  // namespace wavepipe

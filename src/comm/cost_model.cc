@@ -1,0 +1,15 @@
+#include "comm/cost_model.hh"
+
+#include <sstream>
+
+namespace wavepipe {
+
+std::string CostModel::describe() const {
+  std::ostringstream os;
+  os << "alpha=" << alpha << " beta=" << beta
+     << " compute/elem=" << compute_per_element;
+  if (send_overhead != 0.0) os << " send_overhead=" << send_overhead;
+  return os.str();
+}
+
+}  // namespace wavepipe

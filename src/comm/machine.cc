@@ -1,0 +1,84 @@
+#include "comm/machine.hh"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "support/error.hh"
+#include "support/timer.hh"
+
+namespace wavepipe {
+
+Machine::Machine(int size, CostModel costs) : size_(size), costs_(costs) {
+  require(size >= 1, "machine size must be >= 1");
+  require(size <= 4096, "machine size is implausibly large (> 4096 ranks)");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+Machine::~Machine() = default;
+
+Mailbox& Machine::mailbox(int rank) {
+  require(rank >= 0 && rank < size_, "rank out of range");
+  return *mailboxes_[static_cast<std::size_t>(rank)];
+}
+
+std::size_t Machine::pending_messages() const {
+  std::size_t n = 0;
+  for (const auto& mb : mailboxes_) n += mb->pending();
+  return n;
+}
+
+RunResult Machine::run(const std::function<void(Communicator&)>& fn) {
+  RunResult result;
+  result.vtime.assign(static_cast<std::size_t>(size_), 0.0);
+  result.stats.assign(static_cast<std::size_t>(size_), CommStats{});
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  Timer wall;
+  auto body = [&](int rank) {
+    Communicator comm(*this, rank);
+    try {
+      fn(comm);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      // Unblock every rank waiting on a recv so the machine tears down.
+      for (auto& mb : mailboxes_)
+        mb->poison("rank " + std::to_string(rank) + " failed");
+    }
+    result.vtime[static_cast<std::size_t>(rank)] = comm.vtime();
+    result.stats[static_cast<std::size_t>(rank)] = comm.stats();
+  };
+
+  if (size_ == 1) {
+    body(0);  // run inline: keeps single-rank timing free of thread noise
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(size_));
+    for (int r = 0; r < size_; ++r) threads.emplace_back(body, r);
+    for (auto& t : threads) t.join();
+  }
+  result.wall_seconds = wall.seconds();
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  result.vtime_max = 0.0;
+  for (double v : result.vtime)
+    result.vtime_max = std::max(result.vtime_max, v);
+  for (const auto& s : result.stats) result.total += s;
+  return result;
+}
+
+RunResult Machine::run(int size, CostModel costs,
+                       const std::function<void(Communicator&)>& fn) {
+  Machine m(size, costs);
+  return m.run(fn);
+}
+
+}  // namespace wavepipe

@@ -1,0 +1,71 @@
+// The Machine: a fixed-size set of ranks executing an SPMD function on
+// threads, exchanging messages through per-rank mailboxes under a shared
+// CostModel.
+//
+// With CostModel{} (all costs zero) this is a plain in-process
+// message-passing runtime whose wall-clock behaviour is whatever the host
+// provides. With T3E-like alpha/beta it is the paper's machine model: every
+// experiment that the authors ran on 1..16 T3E processors runs here with
+// deterministic virtual times. This substitution is documented in
+// DESIGN.md §2.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "comm/communicator.hh"
+#include "comm/cost_model.hh"
+#include "comm/mailbox.hh"
+
+namespace wavepipe {
+
+/// Result of one SPMD run.
+struct RunResult {
+  /// Completion virtual time per rank.
+  std::vector<double> vtime;
+  /// Max over ranks: the machine's virtual makespan (the quantity the
+  /// paper's T_comp + T_comm formulas model).
+  double vtime_max = 0.0;
+  /// Host wall-clock seconds for the whole run (meaningful only for
+  /// single-rank or free-cost runs on this 1-core host).
+  double wall_seconds = 0.0;
+  /// Per-rank traffic counters and their sum.
+  std::vector<CommStats> stats;
+  CommStats total;
+};
+
+/// An SPMD machine of `size` ranks.
+class Machine {
+ public:
+  explicit Machine(int size, CostModel costs = {});
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  int size() const { return size_; }
+  const CostModel& costs() const { return costs_; }
+
+  /// Runs `fn(comm)` once on every rank and joins. Exceptions thrown by any
+  /// rank poison the mailboxes (unblocking peers) and the first one is
+  /// rethrown here after all threads join. The machine is reusable: a clean
+  /// run leaves every mailbox empty.
+  RunResult run(const std::function<void(Communicator&)>& fn);
+
+  /// Convenience: construct, run once, return the result.
+  static RunResult run(int size, CostModel costs,
+                       const std::function<void(Communicator&)>& fn);
+
+  Mailbox& mailbox(int rank);
+
+  /// Sum of messages still queued in all mailboxes (0 after a clean run).
+  std::size_t pending_messages() const;
+
+ private:
+  int size_;
+  CostModel costs_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+};
+
+}  // namespace wavepipe

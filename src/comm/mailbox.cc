@@ -1,0 +1,75 @@
+#include "comm/mailbox.hh"
+
+#include <limits>
+
+#include "support/error.hh"
+
+namespace wavepipe {
+
+namespace {
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+void Mailbox::deposit(Message m) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(m));
+  }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::find_locked(int src, int tag) const {
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (queue_[i].src == src && queue_[i].tag == tag) return i;
+  }
+  return kNpos;
+}
+
+Message Mailbox::await(int src, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::size_t at = kNpos;
+  cv_.wait(lock, [&] {
+    if (poisoned_) return true;
+    at = find_locked(src, tag);
+    return at != kNpos;
+  });
+  if (poisoned_)
+    throw CommError("recv aborted: machine poisoned (" + poison_reason_ + ")");
+  Message out = std::move(queue_[at]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(at));
+  return out;
+}
+
+std::optional<Message> Mailbox::try_match(int src, int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (poisoned_)
+    throw CommError("recv aborted: machine poisoned (" + poison_reason_ + ")");
+  const std::size_t at = find_locked(src, tag);
+  if (at == kNpos) return std::nullopt;
+  Message out = std::move(queue_[at]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(at));
+  return out;
+}
+
+bool Mailbox::probe(int src, int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_locked(src, tag) != kNpos;
+}
+
+void Mailbox::poison(const std::string& why) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!poisoned_) {
+      poisoned_ = true;
+      poison_reason_ = why;
+    }
+  }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace wavepipe

@@ -1,0 +1,55 @@
+// Per-rank mailbox: the buffering layer under point-to-point communication.
+//
+// Sends never block (buffered semantics); receives block until a message
+// matching (src, tag) is available. Matching is FIFO per (src, tag) pair,
+// which is the ordering guarantee MPI gives for a (source, tag, comm)
+// triple. A poisoned mailbox (peer rank failed) wakes all waiters with an
+// error so the whole machine tears down instead of deadlocking.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "comm/message.hh"
+
+namespace wavepipe {
+
+class Mailbox {
+ public:
+  /// Enqueues a message (called from the sending rank's thread).
+  void deposit(Message m);
+
+  /// Blocks until a message from `src` with `tag` arrives, then removes and
+  /// returns it. Throws CommError if the mailbox gets poisoned while
+  /// waiting.
+  Message await(int src, int tag);
+
+  /// Non-blocking variant: returns the message if one is already queued.
+  std::optional<Message> try_match(int src, int tag);
+
+  /// True if a matching message is queued (MPI_Iprobe analogue).
+  bool probe(int src, int tag);
+
+  /// Marks the mailbox failed and wakes all waiters; subsequent await()
+  /// calls throw immediately. `why` is included in the error message.
+  void poison(const std::string& why);
+
+  /// Number of queued (unmatched) messages; used by shutdown checks and
+  /// tests that assert no stragglers.
+  std::size_t pending() const;
+
+ private:
+  // Must hold mutex_. Returns iterator-like index into queue_ or npos.
+  std::size_t find_locked(int src, int tag) const;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool poisoned_ = false;
+  std::string poison_reason_;
+};
+
+}  // namespace wavepipe

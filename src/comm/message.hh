@@ -1,0 +1,25 @@
+// In-flight message representation for the wavepipe runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wavepipe {
+
+/// A matched unit of communication. Payloads are raw bytes; the typed
+/// send/recv wrappers in Communicator handle (de)serialization of trivially
+/// copyable element types.
+struct Message {
+  int src = -1;
+  int tag = 0;
+  /// Element count as seen by the sender (for cost accounting and receiver
+  /// size checking, independent of element width).
+  std::size_t elements = 0;
+  std::vector<std::byte> payload;
+  /// Virtual time at which the message is available at the receiver
+  /// (sender clock at send + alpha + beta*elements). 0 in wall-clock mode.
+  double arrival_vtime = 0.0;
+};
+
+}  // namespace wavepipe

@@ -1,0 +1,28 @@
+// Per-rank communication counters, used by benchmarks to report message and
+// volume counts alongside times (e.g. the pipelining tradeoff: smaller
+// blocks => more messages).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wavepipe {
+
+struct CommStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t elements_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t collectives = 0;
+
+  CommStats& operator+=(const CommStats& o) {
+    messages_sent += o.messages_sent;
+    elements_sent += o.elements_sent;
+    bytes_sent += o.bytes_sent;
+    messages_received += o.messages_received;
+    collectives += o.collectives;
+    return *this;
+  }
+};
+
+}  // namespace wavepipe

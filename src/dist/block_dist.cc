@@ -1,0 +1,40 @@
+#include "dist/block_dist.hh"
+
+#include "support/error.hh"
+
+namespace wavepipe {
+
+BlockDist1D::BlockDist1D(Coord lo, Coord hi, int parts)
+    : lo_(lo), hi_(hi), parts_(parts) {
+  require(parts >= 1, "block distribution needs >= 1 part");
+  const Coord n = total();
+  quot_ = n / parts;
+  rem_ = n % parts;
+}
+
+Coord BlockDist1D::block_lo(int k) const {
+  require(k >= 0 && k < parts_, "block index out of range");
+  const Coord kk = static_cast<Coord>(k);
+  return lo_ + kk * quot_ + std::min<Coord>(kk, rem_);
+}
+
+Coord BlockDist1D::block_hi(int k) const {
+  const Coord size = quot_ + (static_cast<Coord>(k) < rem_ ? 1 : 0);
+  return block_lo(k) + size - 1;
+}
+
+int BlockDist1D::owner(Coord c) const {
+  require(c >= lo_ && c <= hi_, "coordinate outside distributed range");
+  const Coord off = c - lo_;
+  // The first rem_ blocks have size quot_+1 and jointly cover the first
+  // rem_*(quot_+1) coordinates.
+  const Coord big_span = rem_ * (quot_ + 1);
+  if (off < big_span) return static_cast<int>(off / (quot_ + 1));
+  return static_cast<int>(rem_ + (off - big_span) / quot_);
+}
+
+Coord BlockDist1D::max_block_size() const {
+  return quot_ + (rem_ > 0 ? 1 : 0);
+}
+
+}  // namespace wavepipe

@@ -1,0 +1,44 @@
+// One-dimensional balanced block distribution.
+//
+// ZPL's default (and the paper's assumption §3.2) is that every array is
+// aligned and block distributed in each dimension. BlockDist1D carves an
+// inclusive coordinate range [lo..hi] into `parts` contiguous blocks whose
+// sizes differ by at most one.
+#pragma once
+
+#include "index/index.hh"
+
+namespace wavepipe {
+
+class BlockDist1D {
+ public:
+  /// Distributes [lo..hi] over `parts` blocks. Empty ranges are allowed
+  /// (every part gets an empty block); parts must be >= 1.
+  BlockDist1D(Coord lo, Coord hi, int parts);
+
+  Coord lo() const { return lo_; }
+  Coord hi() const { return hi_; }
+  int parts() const { return parts_; }
+  Coord total() const { return hi_ >= lo_ ? hi_ - lo_ + 1 : 0; }
+
+  /// First coordinate of block `k` (one past hi for empty trailing blocks).
+  Coord block_lo(int k) const;
+  /// Last coordinate of block `k` (block_lo(k)-1 when block k is empty).
+  Coord block_hi(int k) const;
+  Coord block_size(int k) const { return block_hi(k) - block_lo(k) + 1; }
+
+  /// The block owning coordinate c; c must lie in [lo..hi].
+  int owner(Coord c) const;
+
+  /// Largest block size (surface-to-volume and buffer sizing).
+  Coord max_block_size() const;
+
+ private:
+  Coord lo_;
+  Coord hi_;
+  int parts_;
+  Coord quot_;  // total() / parts
+  Coord rem_;   // total() % parts: the first rem_ blocks get quot_+1
+};
+
+}  // namespace wavepipe

@@ -1,0 +1,12 @@
+// Layout is a header-only template (layout.hh); this translation unit
+// exists to anchor the wp_dist library and to host explicit instantiations
+// that keep template code out of every consumer's object files.
+#include "dist/layout.hh"
+
+namespace wavepipe {
+
+template class Layout<1>;
+template class Layout<2>;
+template class Layout<3>;
+
+}  // namespace wavepipe

@@ -1,0 +1,92 @@
+// Layout: the global-to-local mapping of a block-distributed region.
+//
+// A Layout<R> binds a global region to a processor grid: per rank it gives
+// the owned sub-region, the allocated region (owned plus fluff — ZPL's term
+// for ghost/halo cells), and ownership queries. All arrays in a scan block
+// are aligned (same layout), which is the basis of ZPL's WYSIWYG
+// performance model: only @-shifts communicate.
+#pragma once
+
+#include <array>
+
+#include "dist/block_dist.hh"
+#include "dist/proc_grid.hh"
+#include "index/region.hh"
+
+namespace wavepipe {
+
+template <Rank R>
+class Layout {
+ public:
+  /// Distributes `global` over `grid`, allocating `fluff[d]` ghost cells on
+  /// both sides of each dimension.
+  Layout(const Region<R>& global, const ProcGrid<R>& grid,
+         const Idx<R>& fluff = {})
+      : global_(global), grid_(grid), fluff_(fluff), dists_(make_dists()) {
+    for (Rank d = 0; d < R; ++d) {
+      require(fluff.v[d] >= 0, "fluff widths must be >= 0");
+      require(grid.dim(d) <= std::max<Coord>(global.extent(d), 1),
+              "more processors than elements along dimension " +
+                  std::to_string(d));
+    }
+  }
+
+  const Region<R>& global() const { return global_; }
+  const ProcGrid<R>& grid() const { return grid_; }
+  const Idx<R>& fluff() const { return fluff_; }
+
+  /// The sub-region owned by `rank` (may be empty on oversubscribed dims).
+  Region<R> owned(int rank) const {
+    const auto c = grid_.coords(rank);
+    Idx<R> lo{}, hi{};
+    for (Rank d = 0; d < R; ++d) {
+      lo.v[d] = dists_[d].block_lo(c[d]);
+      hi.v[d] = dists_[d].block_hi(c[d]);
+    }
+    return Region<R>(lo, hi);
+  }
+
+  /// The region `rank` allocates: owned() expanded by the fluff widths.
+  Region<R> allocated(int rank) const { return owned(rank).expanded(fluff_); }
+
+  /// Rank owning global index `i` (must lie inside the global region).
+  int owner_of(const Idx<R>& i) const {
+    require(global_.contains(i), "index outside the distributed region");
+    std::array<int, R> c{};
+    for (Rank d = 0; d < R; ++d) c[d] = dists_[d].owner(i.v[d]);
+    return grid_.rank_of(c);
+  }
+
+  /// The 1-D distribution along dimension d.
+  const BlockDist1D& dist(Rank d) const { return dists_[d]; }
+
+  /// Largest owned block volume over all ranks (buffer sizing).
+  Coord max_owned_size() const {
+    Coord v = 1;
+    for (Rank d = 0; d < R; ++d) v *= dists_[d].max_block_size();
+    return v;
+  }
+
+  friend bool operator==(const Layout& a, const Layout& b) {
+    return a.global_ == b.global_ && a.grid_.dims() == b.grid_.dims() &&
+           a.fluff_ == b.fluff_;
+  }
+
+ private:
+  std::array<BlockDist1D, R> make_dists() const {
+    // Build per-dimension distributions; BlockDist1D has no default
+    // constructor, so construct through an index sequence.
+    return make_dists_impl(std::make_index_sequence<R>{});
+  }
+  template <std::size_t... D>
+  std::array<BlockDist1D, R> make_dists_impl(std::index_sequence<D...>) const {
+    return {BlockDist1D(global_.lo(D), global_.hi(D), grid_.dim(D))...};
+  }
+
+  Region<R> global_;
+  ProcGrid<R> grid_;
+  Idx<R> fluff_;
+  std::array<BlockDist1D, R> dists_;
+};
+
+}  // namespace wavepipe

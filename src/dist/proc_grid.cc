@@ -1,0 +1,32 @@
+#include "dist/proc_grid.hh"
+
+#include <algorithm>
+
+namespace wavepipe {
+
+std::vector<int> factorize_processors(int p, int ndims) {
+  require(p >= 1, "processor count must be >= 1");
+  require(ndims >= 1, "factorization needs >= 1 dimension");
+  std::vector<int> dims(static_cast<std::size_t>(ndims), 1);
+  // Greedy: repeatedly peel the largest prime factor and assign it to the
+  // currently smallest dimension. Produces near-square meshes for the
+  // powers of two the experiments use and reasonable shapes otherwise.
+  std::vector<int> primes;
+  int rest = p;
+  for (int f = 2; f * f <= rest; ++f) {
+    while (rest % f == 0) {
+      primes.push_back(f);
+      rest /= f;
+    }
+  }
+  if (rest > 1) primes.push_back(rest);
+  std::sort(primes.rbegin(), primes.rend());
+  for (int f : primes) {
+    auto smallest = std::min_element(dims.begin(), dims.end());
+    *smallest *= f;
+  }
+  std::sort(dims.rbegin(), dims.rend());
+  return dims;
+}
+
+}  // namespace wavepipe

@@ -1,0 +1,74 @@
+#include "exec/block_select.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/model.hh"
+#include "model/optimize.hh"
+#include "support/error.hh"
+
+namespace wavepipe {
+
+Coord select_block_static(const CostModel& costs, Coord n, int p) {
+  require(n >= 1 && p >= 1, "select_block_static needs n >= 1, p >= 1");
+  const PipelineModel model(costs.alpha / costs.compute_per_element,
+                            costs.beta / costs.compute_per_element);
+  const double b = model.optimal_block_exact(n, p);
+  return std::clamp<Coord>(static_cast<Coord>(std::lround(b)), 1, n);
+}
+
+BlockAutoTuner::BlockAutoTuner(Coord extent) : extent_(std::max<Coord>(extent, 1)) {
+  queue_ = geometric_candidates(extent_);
+}
+
+Coord BlockAutoTuner::propose() {
+  if (next_ < queue_.size()) return queue_[next_];
+  if (phase_ == Phase::kSweep) {
+    enter_refine();
+    if (next_ < queue_.size()) return queue_[next_];
+  }
+  phase_ = Phase::kSettled;
+  return best();
+}
+
+void BlockAutoTuner::report(Coord b, double time) {
+  measured_.emplace_back(b, time);
+  if (next_ < queue_.size() && queue_[next_] == b) ++next_;
+  if (next_ >= queue_.size() && phase_ == Phase::kSweep) enter_refine();
+  if (next_ >= queue_.size() && phase_ == Phase::kRefine)
+    phase_ = Phase::kSettled;
+}
+
+void BlockAutoTuner::enter_refine() {
+  phase_ = Phase::kRefine;
+  // Probe midpoints between the best candidate and its sweep neighbours.
+  const Coord b = best();
+  std::vector<Coord> refine;
+  for (Coord c : {b / 2 + b / 4, b + b / 2}) {
+    c = std::clamp<Coord>(c, 1, extent_);
+    bool seen = c == b;
+    for (const auto& [mb, _] : measured_) seen = seen || mb == c;
+    for (Coord q : refine) seen = seen || q == c;
+    if (!seen) refine.push_back(c);
+  }
+  queue_ = std::move(refine);
+  next_ = 0;
+}
+
+Coord BlockAutoTuner::best() const {
+  require(!measured_.empty(), "auto-tuner has no measurements yet");
+  auto it = std::min_element(
+      measured_.begin(), measured_.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  return it->first;
+}
+
+double BlockAutoTuner::best_time() const {
+  require(!measured_.empty(), "auto-tuner has no measurements yet");
+  auto it = std::min_element(
+      measured_.begin(), measured_.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  return it->second;
+}
+
+}  // namespace wavepipe

@@ -1,0 +1,61 @@
+// Block-size selection: static (the paper's Equation 1) and dynamic (the
+// paper's stated future work: "Because the optimal block size is a function
+// of non-static parameters such as problem size and computation cost, we
+// will develop dynamic techniques for calculating it").
+#pragma once
+
+#include <vector>
+
+#include "comm/cost_model.hh"
+#include "index/index.hh"
+
+namespace wavepipe {
+
+/// Static selection from machine parameters: the integer nearest the exact
+/// dT/db = 0 solution, clamped to [1, n].
+Coord select_block_static(const CostModel& costs, Coord n, int p);
+
+/// Measure-first-waves auto-tuner for iterative wavefront codes: each call
+/// to propose() returns a candidate block size; report(b, time) feeds the
+/// measured cost back. Candidates sweep geometrically, then the tuner
+/// settles on the best measured value (re-probing its neighbours once).
+///
+///   BlockAutoTuner tuner(n_local);
+///   for each outer iteration:
+///     Coord b = tuner.propose();
+///     t = time( run_pipelined(..., b) );
+///     tuner.report(b, t);
+class BlockAutoTuner {
+ public:
+  /// `extent` is the tile dimension's local extent (upper bound for b).
+  explicit BlockAutoTuner(Coord extent);
+
+  /// Next block size to try (the settled best once exploration finishes).
+  Coord propose();
+
+  /// Records the measured time of a run with block size b.
+  void report(Coord b, double time);
+
+  /// Best block size measured so far.
+  Coord best() const;
+  double best_time() const;
+
+  /// True once exploration (sweep + refinement) has finished.
+  bool settled() const { return phase_ == Phase::kSettled; }
+
+  /// Number of measurements taken.
+  std::size_t measurements() const { return measured_.size(); }
+
+ private:
+  enum class Phase { kSweep, kRefine, kSettled };
+
+  void enter_refine();
+
+  Coord extent_;
+  Phase phase_ = Phase::kSweep;
+  std::vector<Coord> queue_;       // candidates not yet tried
+  std::size_t next_ = 0;           // cursor into queue_
+  std::vector<std::pair<Coord, double>> measured_;
+};
+
+}  // namespace wavepipe

@@ -1,0 +1,7 @@
+// Distributed drivers are header-only (driver.hh); this unit anchors
+// wp_exec.
+#include "exec/driver.hh"
+
+namespace wavepipe {
+// No out-of-line definitions; see driver.hh.
+}  // namespace wavepipe

@@ -1,0 +1,86 @@
+// Distributed drivers for the non-wavefront parts of programs: parallel
+// array statements with ghost exchange, and global reductions. Together
+// with run_wavefront these are everything an application (Tomcatv, SIMPLE,
+// SWEEP3D, ...) needs to run SPMD.
+#pragma once
+
+#include <map>
+
+#include "array/ghost.hh"
+#include "exec/pipelined.hh"
+
+namespace wavepipe {
+
+/// Applies a parallel (no-prime) statement across the machine: exchanges
+/// the ghost cells its shifted reads touch, then applies the statement with
+/// array semantics on this rank's portion of `region`. Collective.
+template <typename E>
+void apply_distributed(const Region<E::rank>& region,
+                       const StatementSpec<E>& spec,
+                       const Layout<E::rank>& layout, Communicator& comm,
+                       int tag_base = 300, bool charge = true) {
+  constexpr Rank R = E::rank;
+  std::vector<Access<R>> reads;
+  spec.expr.collect(reads);
+
+  // Union halo widths per distinct array, then exchange each once.
+  std::map<const void*, std::pair<DenseArray<Real, R>*, Idx<R>>> halos;
+  for (const auto& acc : reads) {
+    require(!acc.primed,
+            "primed references are only meaningful inside scan blocks");
+    auto& entry = halos[acc.array->id()];
+    entry.first = acc.array;
+    for (Rank d = 0; d < R; ++d) {
+      const Coord mag = acc.dir.v[d] < 0 ? -acc.dir.v[d] : acc.dir.v[d];
+      entry.second.v[d] = std::max(entry.second.v[d], mag);
+    }
+  }
+  int tag = tag_base;
+  for (auto& [id, entry] : halos) {
+    bool any = false;
+    for (Rank d = 0; d < R; ++d) any = any || entry.second.v[d] > 0;
+    if (any)
+      exchange_ghosts(*entry.first, layout, comm.rank(), comm, entry.second,
+                      tag);
+    tag += 2 * static_cast<int>(R);
+  }
+
+  const Region<R> local = region.intersect(layout.owned(comm.rank()));
+  apply_statement(local, spec);
+  if (charge) comm.compute(static_cast<double>(local.size()));
+}
+
+/// Applies several parallel statements in order (each is a separate
+/// collective exchange + local apply).
+template <Rank R, typename... Es>
+void apply_distributed_all(const Region<R>& region,
+                           const Layout<R>& layout, Communicator& comm,
+                           const StatementSpec<Es>&... specs) {
+  int tag = 300;
+  ((apply_distributed(region, specs, layout, comm, tag), tag += 64), ...);
+}
+
+/// Global max |a(i)| over each rank's portion of `region`. Collective.
+template <Rank R>
+Real global_max_abs(const DenseArray<Real, R>& a, const Region<R>& region,
+                    const Layout<R>& layout, Communicator& comm) {
+  const Region<R> local = region.intersect(layout.owned(comm.rank()));
+  Real m = 0;
+  for_each(local, [&](const Idx<R>& i) {
+    const Real v = a(i) < 0 ? -a(i) : a(i);
+    if (v > m) m = v;
+  });
+  return comm.allreduce_max(m);
+}
+
+/// Global sum of a(i) over `region`. Collective.
+template <Rank R>
+Real global_sum(const DenseArray<Real, R>& a, const Region<R>& region,
+                const Layout<R>& layout, Communicator& comm) {
+  const Region<R> local = region.intersect(layout.owned(comm.rank()));
+  Real s = 0;
+  for_each(local, [&](const Idx<R>& i) { s += a(i); });
+  return comm.allreduce_sum(s);
+}
+
+}  // namespace wavepipe

@@ -1,0 +1,8 @@
+// The naive (Fig 4a) schedule is run_naive() in pipelined.hh — it is the
+// block = local-extent special case of the pipelined executor. This unit
+// anchors wp_exec.
+#include "exec/pipelined.hh"
+
+namespace wavepipe {
+// No out-of-line definitions; see pipelined.hh.
+}  // namespace wavepipe

@@ -1,0 +1,7 @@
+// The wavefront executors are header-only (pipelined.hh); this unit
+// anchors wp_exec.
+#include "exec/pipelined.hh"
+
+namespace wavepipe {
+// No out-of-line definitions; see pipelined.hh.
+}  // namespace wavepipe

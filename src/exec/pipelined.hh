@@ -1,0 +1,270 @@
+// Distributed wavefront execution: naive (Fig 4a) and pipelined (Fig 4b).
+//
+// Schedule per rank:
+//   1. pre-exchange ghosts: every read array's fluff is filled with *old*
+//      neighbour values (this serves the unprimed @-references, including
+//      anti-dependences across processor boundaries — payloads are
+//      snapshots, so ordering with downstream computation is immaterial);
+//   2. if the plan has a wavefront along a distributed dimension w and any
+//      primed-read (wave) arrays, computation proceeds in tiles of `block`
+//      columns along a chosen non-w dimension: receive the predecessor's
+//      face segment, compute the tile, send the successor its face segment.
+//      block = local extent gives the naive schedule: one receive, compute
+//      everything, one send — no parallelism along w. Smaller blocks
+//      pipeline the wave at the cost of more messages (the paper's §4
+//      tradeoff);
+//   3. otherwise the local portion is computed outright (fully parallel).
+//
+// All wave arrays' face segments for one tile travel as a single bundled
+// message, so the per-message cost matches the paper's alpha + beta*b model.
+#pragma once
+
+#include "array/ghost.hh"
+#include "comm/machine.hh"
+#include "exec/serial.hh"
+
+namespace wavepipe {
+
+struct WaveOptions {
+  /// Tile size along the tile dimension; <= 0 means the whole local extent
+  /// (the naive Fig 4(a) schedule).
+  Coord block = 0;
+  /// Base of the message-tag space this call uses.
+  int tag_base = 500;
+  /// Fill fluff with neighbours' old values first (disable only when the
+  /// caller has already exchanged).
+  bool pre_exchange = true;
+  /// Charge one virtual-time unit of compute per element (cost-model runs).
+  bool charge = true;
+};
+
+template <Rank R>
+struct WaveReport {
+  Region<R> local_region;
+  bool waved = false;   // wavefront communication actually happened
+  Rank tile_dim = 0;
+  Coord tiles = 0;
+  Coord block = 0;
+};
+
+namespace detail {
+
+/// The face of `local` that flows between w-neighbours for array use `u`:
+/// `inflow` selects the side facing the predecessor (receive side) versus
+/// the side facing the successor (send side); the t-range restricts the
+/// tile segment.
+template <Rank R>
+Region<R> wave_face(const Region<R>& local, const ArrayUse<R>& u, Rank w,
+                    int travel, bool inflow, Rank tdim, Coord t_lo,
+                    Coord t_hi) {
+  Region<R> f = local;
+  if (inflow) {
+    f = travel > 0 ? f.with_dim(w, local.lo(w) - u.wave_depth, local.lo(w) - 1)
+                   : f.with_dim(w, local.hi(w) + 1, local.hi(w) + u.wave_depth);
+  } else {
+    f = travel > 0 ? f.with_dim(w, local.hi(w) - u.wave_depth + 1, local.hi(w))
+                   : f.with_dim(w, local.lo(w), local.lo(w) + u.wave_depth - 1);
+  }
+  if (tdim != w) f = f.with_dim(tdim, t_lo, t_hi);
+  return f;
+}
+
+}  // namespace detail
+
+/// Executes a compiled scan block over a block-distributed layout.
+/// Collective: every rank of the grid must call with the same plan
+/// structure and options. Returns a per-rank report.
+template <Rank R>
+WaveReport<R> run_wavefront(const WavefrontPlan<R>& plan,
+                            const Layout<R>& layout, Communicator& comm,
+                            const WaveOptions& opts = {}) {
+  const ProcGrid<R>& grid = layout.grid();
+  const int rank = comm.rank();
+  require(grid.size() == comm.size(),
+          "processor grid size must equal machine size");
+
+  // Distributed dimensions must be parallel or the wavefront dimension;
+  // serialized dimensions have no parallelism to give a processor.
+  for (Rank d = 0; d < R; ++d) {
+    if (!grid.distributed(d)) continue;
+    const DimRole role = plan.role(d);
+    require(role == DimRole::kParallel || role == DimRole::kWavefront,
+            "dimension " + std::to_string(d) +
+                " is serialized by the wavefront and may not be distributed");
+  }
+
+  const Region<R> local = plan.region.intersect(layout.owned(rank));
+
+  // Old-value ghost exchange for every array with a nonzero halo.
+  if (opts.pre_exchange) {
+    int tag = opts.tag_base;
+    for (const auto& use : plan.arrays) {
+      bool any = false;
+      for (Rank d = 0; d < R; ++d) any = any || use.halo.v[d] > 0;
+      if (any)
+        exchange_ghosts(*use.array, layout, rank, comm, use.halo, tag);
+      tag += 2 * static_cast<int>(R);
+    }
+  }
+
+  WaveReport<R> rep;
+  rep.local_region = local;
+
+  const auto wave_uses = plan.wave_arrays();
+  const bool waved = plan.has_wavefront() &&
+                     grid.distributed(plan.wdim()) && !wave_uses.empty();
+  if (!waved) {
+    run_serial_on(plan, local);
+    if (opts.charge) comm.compute(static_cast<double>(local.size()));
+    return rep;
+  }
+
+  const Rank w = plan.wdim();
+  const int travel = plan.travel();
+
+  // Every processor row along w must own part of the scan region: the wave
+  // relays nearest-neighbour, so a hole in the chain would strand it.
+  {
+    const BlockDist1D& bd = layout.dist(w);
+    for (int k = 0; k < bd.parts(); ++k) {
+      require(std::max(bd.block_lo(k), plan.region.lo(w)) <=
+                  std::min(bd.block_hi(k), plan.region.hi(w)),
+              "every processor along the wavefront dimension must own part "
+              "of the scan region (shrink the grid or the fluff)");
+    }
+  }
+
+  const int pred = grid.neighbor(rank, w, -travel);
+  const int succ = grid.neighbor(rank, w, +travel);
+
+  // Tile dimension and tile order. Splitting dimension t into sequentially
+  // executed tiles (sign s) is legal only when every execute-before vector
+  // c has c[t]*s >= 0 — otherwise some dependence target would run in an
+  // earlier tile than its source within a rank (this is what rules out
+  // straight column-tiling for blocks with opposing diagonal dependences;
+  // they fall back to the naive single-tile schedule). Among the legal
+  // (t, s) pairs, prefer completely parallel dimensions (the paper tiles
+  // the parallel dimension), then the in-tile loop direction, then larger
+  // local extent.
+  Rank tdim = w;
+  int tsign = +1;
+  {
+    auto tiling_legal = [&](Rank d, int s) {
+      for (const auto& c : plan.constraints)
+        if (c.v[d] * s < 0) return false;
+      return true;
+    };
+    std::int64_t best_score = -1;
+    for (Rank d = 0; d < R; ++d) {
+      if (d == w) continue;
+      for (const int s : {plan.loops.step[d], -plan.loops.step[d]}) {
+        if (!tiling_legal(d, s)) continue;
+        const std::int64_t score =
+            (plan.role(d) == DimRole::kParallel ? (std::int64_t{1} << 40) : 0) +
+            (s == plan.loops.step[d] ? (std::int64_t{1} << 20) : 0) +
+            local.extent(d);
+        if (score > best_score) {
+          best_score = score;
+          tdim = d;
+          tsign = s;
+        }
+        break;  // the preferred direction was legal; no need for the other
+      }
+    }
+  }
+
+  const Coord extent = tdim == w ? 1 : local.extent(tdim);
+  const Coord b = opts.block <= 0 ? std::max<Coord>(extent, 1)
+                                  : std::min<Coord>(opts.block, std::max<Coord>(extent, 1));
+  const Coord m = tdim == w ? 1 : (extent + b - 1) / b;
+
+  // j-th tile's t-range, in tile order along tdim.
+  auto tile_range = [&](Coord j) {
+    if (tdim == w) return std::pair<Coord, Coord>{0, 0};
+    if (tsign > 0) {
+      const Coord a = local.lo(tdim) + j * b;
+      return std::pair<Coord, Coord>{a, std::min(local.hi(tdim), a + b - 1)};
+    }
+    const Coord z = local.hi(tdim) - j * b;
+    return std::pair<Coord, Coord>{std::max(local.lo(tdim), z - b + 1), z};
+  };
+
+  const int wave_tag = opts.tag_base + 64;  // clear of the ghost-tag space
+
+  auto faces_for = [&](Coord j, bool inflow) {
+    std::vector<Region<R>> fs;
+    const auto [ta, tb] = tile_range(j);
+    fs.reserve(wave_uses.size());
+    for (const auto& u : wave_uses)
+      fs.push_back(detail::wave_face(local, u, w, travel, inflow, tdim, ta, tb));
+    return fs;
+  };
+
+  for (Coord j = 0; j < m; ++j) {
+    // Receive the predecessor's face segment for this tile. Tile-order
+    // legality (c[t]*s >= 0) guarantees no tile ever needs a *later*
+    // predecessor tile, so one receive per tile suffices.
+    if (pred >= 0) {
+      const auto fs = faces_for(j, /*inflow=*/true);
+      std::size_t total = 0;
+      for (const auto& f : fs) total += static_cast<std::size_t>(f.size());
+      std::vector<Real> buf(total);
+      comm.recv(pred, std::span<Real>(buf), wave_tag);
+      std::size_t off = 0;
+      for (std::size_t ui = 0; ui < fs.size(); ++ui) {
+        const std::size_t n = static_cast<std::size_t>(fs[ui].size());
+        require(wave_uses[ui].array->region().contains(fs[ui]),
+                "array '" + wave_uses[ui].name() +
+                    "' allocates too little fluff for the wave inflow face");
+        unpack_region(*wave_uses[ui].array, fs[ui],
+                      std::vector<Real>(buf.begin() + static_cast<std::ptrdiff_t>(off),
+                                        buf.begin() + static_cast<std::ptrdiff_t>(off + n)));
+        off += n;
+      }
+    }
+
+    const auto [ta, tb] = tile_range(j);
+    const Region<R> tile = tdim == w ? local : local.with_dim(tdim, ta, tb);
+    run_serial_on(plan, tile);
+    if (opts.charge) comm.compute(static_cast<double>(tile.size()));
+
+    if (succ >= 0) {
+      const auto fs = faces_for(j, /*inflow=*/false);
+      std::vector<Real> buf;
+      for (std::size_t ui = 0; ui < fs.size(); ++ui) {
+        require(wave_uses[ui].array->region().contains(fs[ui]),
+                "array '" + wave_uses[ui].name() +
+                    "' allocates too little fluff for the wave outflow face");
+        const auto part = pack_region(*wave_uses[ui].array, fs[ui]);
+        buf.insert(buf.end(), part.begin(), part.end());
+      }
+      comm.send(succ, std::span<const Real>(buf), wave_tag);
+    }
+  }
+
+  rep.waved = true;
+  rep.tile_dim = tdim;
+  rep.tiles = m;
+  rep.block = b;
+  return rep;
+}
+
+/// Fig 4(a): the naive schedule — the wavefront dimension is serialized.
+template <Rank R>
+WaveReport<R> run_naive(const WavefrontPlan<R>& plan, const Layout<R>& layout,
+                        Communicator& comm, WaveOptions opts = {}) {
+  opts.block = 0;
+  return run_wavefront(plan, layout, comm, opts);
+}
+
+/// Fig 4(b): the pipelined schedule with block size `block`.
+template <Rank R>
+WaveReport<R> run_pipelined(const WavefrontPlan<R>& plan,
+                            const Layout<R>& layout, Communicator& comm,
+                            Coord block, WaveOptions opts = {}) {
+  require(block >= 1, "pipeline block size must be >= 1");
+  opts.block = block;
+  return run_wavefront(plan, layout, comm, opts);
+}
+
+}  // namespace wavepipe

@@ -1,0 +1,6 @@
+// Serial execution is header-only (serial.hh); this unit anchors wp_exec.
+#include "exec/serial.hh"
+
+namespace wavepipe {
+// No out-of-line definitions; see serial.hh.
+}  // namespace wavepipe

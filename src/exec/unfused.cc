@@ -1,0 +1,7 @@
+// The unfused baseline executor is header-only (unfused.hh); this unit
+// anchors wp_exec.
+#include "exec/unfused.hh"
+
+namespace wavepipe {
+// No out-of-line definitions; see unfused.hh.
+}  // namespace wavepipe

@@ -1,0 +1,28 @@
+// Access metadata recorded by the expression templates.
+//
+// Every array reference in a statement contributes one Access: which array,
+// at which @-shift direction, and whether the reference is primed (reads
+// values written by earlier iterations of the implementing loop nest — the
+// paper's new operator).
+#pragma once
+
+#include <vector>
+
+#include "array/dense.hh"
+
+namespace wavepipe {
+
+/// The element type of the array language. Wavefront codes in the paper are
+/// floating-point scientific kernels; fixing Real keeps statements
+/// type-erasable so scan blocks, plans and executors stay non-templated
+/// over element type.
+using Real = double;
+
+template <Rank R>
+struct Access {
+  DenseArray<Real, R>* array = nullptr;
+  Direction<R> dir{};
+  bool primed = false;
+};
+
+}  // namespace wavepipe

@@ -1,0 +1,15 @@
+#include "lang/plan.hh"
+
+namespace wavepipe {
+
+std::string to_string(DimRole role) {
+  switch (role) {
+    case DimRole::kParallel: return "parallel";
+    case DimRole::kWavefront: return "wavefront";
+    case DimRole::kPipeline: return "pipeline";
+    case DimRole::kSerial: return "serial";
+  }
+  return "?";
+}
+
+}  // namespace wavepipe

@@ -1,0 +1,11 @@
+// ScanBlock is a header-only template (scan_block.hh); this unit anchors
+// the wp_lang library and pins the supported-rank instantiations.
+#include "lang/scan_block.hh"
+
+namespace wavepipe {
+
+template class ScanBlock<1>;
+template class ScanBlock<2>;
+template class ScanBlock<3>;
+
+}  // namespace wavepipe

@@ -1,0 +1,14 @@
+// Loop-structure derivation is header-only (udv.hh); this unit anchors the
+// library and pins explicit instantiations for the supported ranks.
+#include "lang/udv.hh"
+
+namespace wavepipe {
+
+template std::optional<LoopStructure<1>> derive_loop_structure<1>(
+    const std::vector<Udv<1>>&, Rank, std::optional<Rank>, int);
+template std::optional<LoopStructure<2>> derive_loop_structure<2>(
+    const std::vector<Udv<2>>&, Rank, std::optional<Rank>, int);
+template std::optional<LoopStructure<3>> derive_loop_structure<3>(
+    const std::vector<Udv<3>>&, Rank, std::optional<Rank>, int);
+
+}  // namespace wavepipe

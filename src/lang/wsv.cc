@@ -1,0 +1,30 @@
+#include "lang/wsv.hh"
+
+namespace wavepipe {
+
+WComp wsv_combine2(Coord i, Coord j) {
+  if (i == 0 && j == 0) return WComp::kZero;
+  if (i * j < 0) return WComp::kBoth;
+  if (i > 0 || j > 0) return WComp::kPlus;
+  return WComp::kMinus;
+}
+
+WComp wsv_fold(WComp acc, Coord c) {
+  if (c == 0) return acc;
+  const WComp sign = c > 0 ? WComp::kPlus : WComp::kMinus;
+  if (acc == WComp::kZero) return sign;
+  if (acc == sign) return acc;
+  return WComp::kBoth;
+}
+
+std::string to_string(WComp c) {
+  switch (c) {
+    case WComp::kZero: return "0";
+    case WComp::kPlus: return "+";
+    case WComp::kMinus: return "-";
+    case WComp::kBoth: return "±";
+  }
+  return "?";
+}
+
+}  // namespace wavepipe

@@ -1,0 +1,77 @@
+#include "model/machines.hh"
+
+namespace wavepipe {
+
+// Calibration.
+//
+// The paper reports no raw alpha/beta, only where each model's optimum
+// landed (Fig 5a: Model1 picks b1 = 39, Model2 picks b2 = 23 for the
+// Tomcatv wavefront; Fig 5b: b1 = 20 vs b2 = 3). The two reports pin the
+// machine uniquely under the natural reading that Model1's constant
+// per-message cost is what one measures on the *nonpipelined* code's
+// full-face messages of n elements:
+//
+//   Model1 fitted cost:  ahat = alpha + beta*n
+//   Model1 optimum:      b1 = sqrt(ahat * p/(p-1))   =>  ahat = b1^2 (p-1)/p
+//   Model2 optimum:      b2^2 = alpha*n / (beta*(p-2) + n*(p-1)/p)
+//
+// Substituting alpha = ahat - beta*n into the Model2 condition:
+//
+//   beta = n * (ahat - b2^2 (p-1)/p) / (b2^2 (p-2) + n^2)
+//
+// For Fig 5a (n=512, p=8): ahat = 1330.9, beta = 1.68, alpha = 473.5 —
+// physically plausible T3E numbers (per-message startup ~500 element-times,
+// per-element transfer ~1.7 element-times, and indeed "beta dominates" for
+// full faces: beta*n = 857 > alpha). For Fig 5b (n=256, p=16):
+// alpha = 9.4, beta = 1.43 — tiny startup, dominant per-element cost, the
+// paper's stated worst case for Model1.
+
+namespace {
+
+CostModel calibrated(double b1, double b2, Coord n, int p) {
+  const double nd = static_cast<double>(n);
+  const double ahat = b1 * b1 * (p - 1) / p;
+  CostModel cm;
+  cm.beta = nd * (ahat - b2 * b2 * (p - 1) / p) /
+            (b2 * b2 * (p - 2) + nd * nd);
+  cm.alpha = ahat - cm.beta * nd;
+  cm.compute_per_element = 1.0;
+  return cm;
+}
+
+}  // namespace
+
+MachinePreset t3e_like() {
+  // Model1 optimum 39, Model2 optimum 23 at n=512, p=8 (paper, Fig 5a).
+  return MachinePreset{"T3E-like", calibrated(39.0, 23.0, 512, 8), 512, 8};
+}
+
+MachinePreset power_challenge_like() {
+  // No calibration targets are reported for the PowerChallenge; the paper
+  // only says its slower processor makes communication relatively cheaper
+  // (a shared-bus SMP). Roughly halve the T3E's normalized costs.
+  CostModel cm;
+  cm.alpha = 240.0;
+  cm.beta = 0.8;
+  cm.compute_per_element = 1.0;
+  return MachinePreset{"PowerChallenge-like", cm, 512, 8};
+}
+
+MachinePreset fig5b_hypothetical() {
+  // Model1 optimum 20, true (Model2) optimum 3 at n=256, p=16 (Fig 5b).
+  return MachinePreset{"Fig5b-hypothetical", calibrated(20.0, 3.0, 256, 16),
+                       256, 16};
+}
+
+PipelineModel model1_of(const MachinePreset& m) {
+  // Model1's constant message cost, as fitted from the machine's full-face
+  // (n-element) messages.
+  return PipelineModel(
+      m.costs.alpha + m.costs.beta * static_cast<double>(m.n), 0.0);
+}
+
+PipelineModel model2_of(const MachinePreset& m) {
+  return PipelineModel(m.costs.alpha, m.costs.beta);
+}
+
+}  // namespace wavepipe

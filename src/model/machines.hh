@@ -1,0 +1,49 @@
+// Machine presets for the virtual-time experiments.
+//
+// The paper ran on a Cray T3E and an SGI PowerChallenge but reports no raw
+// alpha/beta values; it does report where each model's optimum landed for
+// the Tomcatv wavefront (Fig 5a: Model1 picks b = 39, Model2 picks b = 23)
+// and for the hypothetical worst case (Fig 5b: b = 20 vs b = 3). We invert
+// the closed forms so those optima reproduce exactly, reading Model1's
+// constant per-message cost as the one fitted from full-face (n-element)
+// messages — which yields physically plausible machines (see machines.cc
+// for the algebra and DESIGN.md "Substitutions" for the argument that this
+// preserves the experiments' shape). All values are in units of the
+// per-element compute time.
+#pragma once
+
+#include "comm/cost_model.hh"
+#include "model/model.hh"
+
+namespace wavepipe {
+
+/// A named machine calibration: cost model plus the problem scale the
+/// calibration targeted.
+struct MachinePreset {
+  const char* name;
+  CostModel costs;
+  Coord n;  // calibration problem size (per-wavefront elements)
+  int p;    // calibration processor count
+};
+
+/// Cray T3E-like: large per-message startup relative to element compute,
+/// and a per-element wire cost that dominates for large messages (the
+/// paper: "beta dominates communication costs" on the T3E). Calibrated so
+/// Model1's optimum is 39 and Model2's is 23 at n = 512, p = 8.
+MachinePreset t3e_like();
+
+/// SGI PowerChallenge-like: slower processor, so communication is
+/// relatively cheaper (the paper's Fig 6 explanation); shared-bus machine
+/// with low startup.
+MachinePreset power_challenge_like();
+
+/// The hypothetical worst case of Fig 5(b): Model1 suggests b = 20 while
+/// the true optimum is near b = 3 (calibrated at n = 256, p = 16).
+MachinePreset fig5b_hypothetical();
+
+/// Builds the two models of Fig 5 from a preset: Model1 ignores beta,
+/// Model2 keeps it.
+PipelineModel model1_of(const MachinePreset& m);
+PipelineModel model2_of(const MachinePreset& m);
+
+}  // namespace wavepipe

@@ -1,0 +1,43 @@
+#include "model/model.hh"
+
+#include <cmath>
+
+namespace wavepipe {
+
+double PipelineModel::optimal_block_exact(Coord n, int p) const {
+  require(n >= 1 && p >= 1, "model needs n >= 1, p >= 1");
+  if (p == 1) return static_cast<double>(n);  // no pipeline: one big block
+  const double nd = static_cast<double>(n);
+  const double denom = beta_ * (p - 2) + nd * (p - 1) / p;
+  if (denom <= 0.0) return nd;
+  return std::sqrt(alpha_ * nd / denom);
+}
+
+double PipelineModel::optimal_block_paper(Coord n, int p) const {
+  require(n >= 1 && p >= 1, "model needs n >= 1, p >= 1");
+  if (p == 1) return static_cast<double>(n);
+  const double nd = static_cast<double>(n);
+  return std::sqrt(alpha_ * nd * p / ((p * beta_ + nd) * (p - 1)));
+}
+
+double PipelineModel::optimal_block_approx(Coord n, int p) const {
+  require(n >= 1 && p >= 1, "model needs n >= 1, p >= 1");
+  const double nd = static_cast<double>(n);
+  return std::sqrt(alpha_ * nd / (p * beta_ + nd));
+}
+
+Coord PipelineModel::optimal_block_search(Coord n, int p) const {
+  require(n >= 1 && p >= 1, "model needs n >= 1, p >= 1");
+  Coord best = 1;
+  double best_t = total_time(n, p, 1);
+  for (Coord b = 2; b <= n; ++b) {
+    const double t = total_time(n, p, b);
+    if (t < best_t) {
+      best_t = t;
+      best = b;
+    }
+  }
+  return best;
+}
+
+}  // namespace wavepipe

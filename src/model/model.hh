@@ -1,0 +1,100 @@
+// The paper's §4 analytical model of pipelined wavefront execution.
+//
+// Setting: a wavefront moves along the first dimension of an n x n data
+// space, block distributed across p processors in that dimension; the
+// orthogonal dimension is tiled in blocks of b elements. All times are
+// normalized to the cost of computing one element. Message cost is
+// alpha + beta * (message elements):
+//
+//   T_comp = (n*b/p)(p-1) + n^2/p
+//   T_comm = (alpha + beta*b)(n/b + p - 2)
+//
+// Differentiating T_comp + T_comm and solving dT/db = 0:
+//
+//   exact:  b* = sqrt(alpha*n / (beta*(p-2) + n*(p-1)/p))
+//   paper:  b* = sqrt(alpha*n*p / ((p*beta + n)(p-1)))   (p-2 ~ p-1)
+//   approx: b* = sqrt(alpha*n / (p*beta + n))
+//
+// Model1 is the same model with beta = 0 (Hiranandani et al.'s constant
+// message cost), whose optimum degenerates to ~sqrt(alpha); Model2 keeps
+// beta. Fig 5 contrasts the two.
+#pragma once
+
+#include "index/index.hh"
+#include "support/error.hh"
+
+namespace wavepipe {
+
+class PipelineModel {
+ public:
+  PipelineModel(double alpha, double beta) : alpha_(alpha), beta_(beta) {
+    require(alpha >= 0.0 && beta >= 0.0, "model costs must be >= 0");
+  }
+
+  double alpha() const { return alpha_; }
+  double beta() const { return beta_; }
+
+  /// Computation on the critical path: p-1 pipeline-fill blocks of n*b/p
+  /// elements, then the last processor's n^2/p elements.
+  double comp_time(Coord n, int p, Coord b) const {
+    const double nd = static_cast<double>(n), bd = static_cast<double>(b);
+    return (nd * bd / p) * (p - 1) + nd * nd / p;
+  }
+
+  /// Communication on the critical path: n/b + p - 2 messages of b
+  /// elements each.
+  double comm_time(Coord n, int p, Coord b) const {
+    const double nd = static_cast<double>(n), bd = static_cast<double>(b);
+    if (p <= 1) return 0.0;
+    return (alpha_ + beta_ * bd) * (nd / bd + p - 2);
+  }
+
+  double total_time(Coord n, int p, Coord b) const {
+    return comp_time(n, p, b) + comm_time(n, p, b);
+  }
+
+  /// The nonpipelined (naive, Fig 4a) schedule: computation fully
+  /// serialized along the wavefront (n^2) plus p-1 full-face messages.
+  double naive_time(Coord n, int p) const {
+    const double nd = static_cast<double>(n);
+    return nd * nd + (p - 1) * (alpha_ + beta_ * nd);
+  }
+
+  /// Single-processor time (no communication).
+  double serial_time(Coord n) const {
+    const double nd = static_cast<double>(n);
+    return nd * nd;
+  }
+
+  /// Predicted speedup of the pipelined schedule over the nonpipelined one.
+  double speedup_vs_naive(Coord n, int p, Coord b) const {
+    return naive_time(n, p) / total_time(n, p, b);
+  }
+
+  /// Predicted speedup over serial execution.
+  double speedup_vs_serial(Coord n, int p, Coord b) const {
+    return serial_time(n) / total_time(n, p, b);
+  }
+
+  /// dT/db = 0 solved exactly: sqrt(alpha*n / (beta*(p-2) + n*(p-1)/p)).
+  double optimal_block_exact(Coord n, int p) const;
+
+  /// The paper's Equation (1): sqrt(alpha*n*p / ((p*beta + n)(p-1))).
+  double optimal_block_paper(Coord n, int p) const;
+
+  /// The paper's further approximation: sqrt(alpha*n / (p*beta + n)).
+  double optimal_block_approx(Coord n, int p) const;
+
+  /// Integer argmin of total_time over b in [1, n] (ground truth for the
+  /// closed forms; also what a perfectly informed runtime would pick).
+  Coord optimal_block_search(Coord n, int p) const;
+
+ private:
+  double alpha_;
+  double beta_;
+};
+
+/// Model1: the constant-communication-cost special case (beta = 0).
+inline PipelineModel model1(double alpha) { return PipelineModel(alpha, 0.0); }
+
+}  // namespace wavepipe

@@ -1,0 +1,64 @@
+#include "model/optimize.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "support/error.hh"
+
+namespace wavepipe {
+
+Coord argmin_int(Coord lo, Coord hi, const std::function<double(Coord)>& fn) {
+  require(lo <= hi, "argmin_int needs lo <= hi");
+  Coord best = lo;
+  double best_v = fn(lo);
+  for (Coord x = lo + 1; x <= hi; ++x) {
+    const double v = fn(x);
+    if (v < best_v) {
+      best_v = v;
+      best = x;
+    }
+  }
+  return best;
+}
+
+double argmin_golden(double lo, double hi,
+                     const std::function<double(double)>& fn, double tol) {
+  require(lo <= hi, "argmin_golden needs lo <= hi");
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;  // 0.618...
+  double a = lo, b = hi;
+  double c = b - phi * (b - a);
+  double d = a + phi * (b - a);
+  double fc = fn(c), fd = fn(d);
+  while (b - a > tol * (1.0 + std::abs(a) + std::abs(b))) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - phi * (b - a);
+      fc = fn(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + phi * (b - a);
+      fd = fn(d);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+std::vector<Coord> geometric_candidates(Coord n, double ratio) {
+  require(n >= 1, "geometric_candidates needs n >= 1");
+  require(ratio > 1.0, "geometric_candidates needs ratio > 1");
+  std::vector<Coord> out;
+  double x = 1.0;
+  while (static_cast<Coord>(x) < n) {
+    const Coord c = static_cast<Coord>(x);
+    if (out.empty() || c != out.back()) out.push_back(c);
+    x *= ratio;
+  }
+  if (out.empty() || out.back() != n) out.push_back(n);
+  return out;
+}
+
+}  // namespace wavepipe

@@ -1,0 +1,23 @@
+// Small numeric helpers shared by the model and the block-size tuner.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "index/index.hh"
+
+namespace wavepipe {
+
+/// Integer argmin of `fn` over [lo, hi] (inclusive). Linear scan: the
+/// search spaces here are at most a few thousand points and fn is cheap.
+Coord argmin_int(Coord lo, Coord hi, const std::function<double(Coord)>& fn);
+
+/// Golden-section minimizer for a unimodal double function on [lo, hi].
+double argmin_golden(double lo, double hi,
+                     const std::function<double(double)>& fn,
+                     double tol = 1e-6);
+
+/// Geometric sweep of candidate block sizes in [1, n]: 1, 2, 4, ... plus n.
+std::vector<Coord> geometric_candidates(Coord n, double ratio = 2.0);
+
+}  // namespace wavepipe

@@ -1,0 +1,31 @@
+#include "support/error.hh"
+
+#include <sstream>
+
+namespace wavepipe {
+
+namespace {
+
+std::string format_where(const std::string& what, std::source_location loc,
+                         const char* kind) {
+  std::ostringstream os;
+  os << kind << ": " << what << " [" << loc.file_name() << ':' << loc.line()
+     << " in " << loc.function_name() << ']';
+  return os.str();
+}
+
+}  // namespace
+
+ContractError::ContractError(const std::string& what, std::source_location loc)
+    : Error(format_where(what, loc, "contract violation")), condition_(what) {}
+
+void require(bool ok, const std::string& what, std::source_location loc) {
+  if (!ok) throw ContractError(what, loc);
+}
+
+void internal_check(bool ok, const std::string& what,
+                    std::source_location loc) {
+  if (!ok) throw ContractError("internal error (wavepipe bug): " + what, loc);
+}
+
+}  // namespace wavepipe

@@ -1,0 +1,63 @@
+// Error types and contract checks for the wavepipe library.
+//
+// All library failures surface as subclasses of wavepipe::Error. Contract
+// checks (preconditions, invariants) are functions rather than macros so
+// they compose with normal code; they capture the call site via
+// std::source_location.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace wavepipe {
+
+/// Base class of every exception thrown by wavepipe.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A violated precondition or invariant inside the library or at its API
+/// boundary (bad region bounds, mismatched ranks, ...).
+class ContractError : public Error {
+ public:
+  ContractError(const std::string& what, std::source_location loc);
+
+  const std::string& condition() const noexcept { return condition_; }
+
+ private:
+  std::string condition_;
+};
+
+/// A scan block that fails one of the paper's static legality conditions
+/// (i)-(v), including over-constrained wavefronts (Example 4).
+class LegalityError : public Error {
+ public:
+  explicit LegalityError(const std::string& what) : Error(what) {}
+};
+
+/// A failure in the message-passing runtime (use after shutdown, rank out of
+/// range, type/size mismatch on a matched message, ...).
+class CommError : public Error {
+ public:
+  explicit CommError(const std::string& what) : Error(what) {}
+};
+
+/// A configuration problem (invalid processor grid, block size < 1, ...).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Throws ContractError if `ok` is false. `what` should state the violated
+/// condition in the caller's vocabulary.
+void require(bool ok, const std::string& what,
+             std::source_location loc = std::source_location::current());
+
+/// Like require(), but for conditions that indicate a wavepipe bug rather
+/// than caller misuse; the message is prefixed accordingly.
+void internal_check(bool ok, const std::string& what,
+                    std::source_location loc = std::source_location::current());
+
+}  // namespace wavepipe

@@ -1,0 +1,37 @@
+#include "support/log.hh"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace wavepipe {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_stream_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn:  return "WARN";
+    case LogLevel::kInfo:  return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (level > g_level.load()) return;
+  std::lock_guard<std::mutex> lock(g_stream_mutex);
+  std::cerr << "[wavepipe " << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace wavepipe

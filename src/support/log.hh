@@ -1,0 +1,53 @@
+// Minimal leveled logging. The library itself logs nothing at Info or below
+// during normal operation; executors and tuners log at Debug/Trace so their
+// decisions (derived loop structure, chosen block size) can be inspected.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace wavepipe {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+/// Sets the global log threshold; messages above it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits `message` to stderr if `level` passes the threshold. Thread-safe
+/// (one lock around the stream write so interleaved ranks stay readable).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+template <typename... Args>
+std::string log_format(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() >= LogLevel::kDebug)
+    log_message(LogLevel::kDebug,
+                detail::log_format(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() >= LogLevel::kInfo)
+    log_message(LogLevel::kInfo,
+                detail::log_format(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() >= LogLevel::kWarn)
+    log_message(LogLevel::kWarn,
+                detail::log_format(std::forward<Args>(args)...));
+}
+
+}  // namespace wavepipe

@@ -1,0 +1,78 @@
+#include "support/options.hh"
+
+#include <cstdlib>
+
+#include "support/error.hh"
+
+namespace wavepipe {
+
+Options::Options(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare flag
+    }
+  }
+}
+
+bool Options::has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::string Options::get(const std::string& name,
+                         const std::string& fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Options::get_int(const std::string& name,
+                              std::int64_t fallback) const {
+  const std::string v = get(name, "");
+  if (v.empty()) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  require(end != nullptr && *end == '\0',
+          "option --" + name + " expects an integer, got '" + v + "'");
+  return parsed;
+}
+
+double Options::get_double(const std::string& name, double fallback) const {
+  const std::string v = get(name, "");
+  if (v.empty()) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  require(end != nullptr && *end == '\0',
+          "option --" + name + " expects a number, got '" + v + "'");
+  return parsed;
+}
+
+bool Options::get_bool(const std::string& name, bool fallback) const {
+  const std::string v = get(name, "");
+  if (v.empty()) return fallback;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw ConfigError("option --" + name + " expects a boolean, got '" + v + "'");
+}
+
+std::vector<std::string> Options::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : values_) {
+    const auto it = queried_.find(name);
+    if (it == queried_.end() || !it->second) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace wavepipe

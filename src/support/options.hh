@@ -1,0 +1,38 @@
+// Tiny command-line option parser for the bench and example binaries.
+// Flags take the form --name=value or --name value; every binary must also
+// run with no arguments (the harness invokes them bare).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wavepipe {
+
+/// Parses --key=value / --key value / bare --flag arguments.
+class Options {
+ public:
+  Options(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names that were supplied but never queried; benches print these as a
+  /// usage hint for typos.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace wavepipe

@@ -1,0 +1,56 @@
+#include "support/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hh"
+
+namespace wavepipe {
+
+Summary summarize(std::span<const double> xs) {
+  require(!xs.empty(), "summarize() needs a non-empty sample");
+  Summary s;
+  s.count = xs.size();
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1
+                 ? std::sqrt(ss / static_cast<double>(xs.size() - 1))
+                 : 0.0;
+  s.median = median(xs);
+  return s;
+}
+
+double median(std::span<const double> xs) {
+  require(!xs.empty(), "median() needs a non-empty sample");
+  std::vector<double> v(xs.begin(), xs.end());
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  if (v.size() % 2 == 1) return v[mid];
+  const double hi = v[mid];
+  const double lo =
+      *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double geometric_mean(std::span<const double> xs) {
+  require(!xs.empty(), "geometric_mean() needs a non-empty sample");
+  double log_sum = 0.0;
+  for (double x : xs) {
+    require(x > 0.0, "geometric_mean() needs positive samples");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double relative_difference(double a, double b) {
+  const double scale = std::max({std::abs(a), std::abs(b), 1e-300});
+  return std::abs(a - b) / scale;
+}
+
+}  // namespace wavepipe

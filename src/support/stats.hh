@@ -1,0 +1,32 @@
+// Small descriptive-statistics helpers for benchmark reporting.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace wavepipe {
+
+/// Summary statistics over a sample of doubles.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1 denominator)
+};
+
+/// Computes summary statistics; requires a non-empty sample.
+Summary summarize(std::span<const double> xs);
+
+/// Median of a sample (copies and partially sorts); requires non-empty.
+double median(std::span<const double> xs);
+
+/// Geometric mean; requires all elements > 0 and a non-empty sample.
+double geometric_mean(std::span<const double> xs);
+
+/// Relative difference |a-b| / max(|a|,|b|,eps); used by model tests.
+double relative_difference(double a, double b);
+
+}  // namespace wavepipe

@@ -1,0 +1,77 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hh"
+
+namespace wavepipe {
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (!header_.empty()) {
+    require(row.size() == header_.size(),
+            "table row width must match header width");
+  }
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_note(std::string note) { notes_.push_back(std::move(note)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  auto widen = [&width](const std::vector<std::string>& row) {
+    if (row.size() > width.size()) width.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  os << "== " << title_ << " ==\n";
+  auto print_row = [&os, &width](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << (i == 0 ? "" : "  ") << std::left
+         << std::setw(static_cast<int>(width[i])) << row[i];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    print_row(header_);
+    std::size_t total = 0;
+    for (std::size_t w : width) total += w + 2;
+    os << std::string(total >= 2 ? total - 2 : total, '-') << '\n';
+  }
+  for (const auto& r : rows_) print_row(r);
+  for (const auto& n : notes_) os << "note: " << n << '\n';
+  os << '\n';
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&os](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      os << (i == 0 ? "" : ",") << row[i];
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string fmt(double x, int digits) {
+  std::ostringstream os;
+  os << std::setprecision(digits) << x;
+  return os.str();
+}
+
+std::string fmt_speedup(double x) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << x << 'x';
+  return os.str();
+}
+
+}  // namespace wavepipe

@@ -1,0 +1,47 @@
+// Plain-text table printer for benchmark output. Every bench binary prints
+// the rows/series of the paper figure it regenerates through this class, so
+// output formatting is uniform across the harness.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wavepipe {
+
+/// A column-aligned text table with a title and optional per-table notes.
+///
+///   Table t("Fig 5(a): speedup vs block size");
+///   t.set_header({"b", "measured", "Model1", "Model2"});
+///   t.add_row({"1", "3.52", "3.41", "3.49"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  void add_note(std::string note);
+
+  /// Number of data rows added so far.
+  std::size_t rows() const { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+
+  /// Writes header + rows as CSV (no title/notes); used to archive series.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> notes_;
+};
+
+/// Formats a double with `digits` significant digits (benchmark tables).
+std::string fmt(double x, int digits = 4);
+
+/// Formats a ratio as e.g. "3.1x".
+std::string fmt_speedup(double x);
+
+}  // namespace wavepipe

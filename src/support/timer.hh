@@ -1,0 +1,47 @@
+// Wall-clock timing utilities used by benchmarks and the dynamic block-size
+// tuner. Virtual (simulated) time lives in comm/clock.hh, not here.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace wavepipe {
+
+/// Monotonic wall-clock stopwatch. Construction starts it.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+  double microseconds() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Runs `fn` repeatedly until at least `min_seconds` have elapsed and at
+/// least `min_reps` repetitions have run; returns seconds per repetition.
+/// Used by the uniprocessor cache study, where single runs are too short to
+/// time reliably.
+template <typename Fn>
+double time_per_rep(Fn&& fn, double min_seconds = 0.2, int min_reps = 3) {
+  // Warm-up run: touches memory, populates caches and the branch predictor.
+  fn();
+  int reps = 0;
+  Timer t;
+  do {
+    fn();
+    ++reps;
+  } while (reps < min_reps || t.seconds() < min_seconds);
+  return t.seconds() / reps;
+}
+
+}  // namespace wavepipe

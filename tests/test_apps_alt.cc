@@ -1,0 +1,111 @@
+// Application tests: alternating-direction line Gauss-Seidel — both
+// vertical-sweep strategies (pipelined vs transpose) must be bit-identical
+// and match the serial run; the solver must converge.
+#include <gtest/gtest.h>
+
+#include "apps/alt_sweep.hh"
+
+namespace wavepipe {
+namespace {
+
+TEST(AltSweep, ConvergesOnPoisson) {
+  AltSweepConfig cfg;
+  cfg.n = 33;
+  Machine::run(1, {}, [&](Communicator& comm) {
+    AltSweep app(cfg, ProcGrid<2>({1, 1}), 0);
+    const Real r0 = app.residual_norm(comm);
+    for (int it = 0; it < 25; ++it)
+      app.iterate(comm, VerticalStrategy::kPipelined);
+    const Real r1 = app.residual_norm(comm);
+    EXPECT_LT(r1, 0.05 * r0);
+  });
+}
+
+TEST(AltSweep, StrategiesBitIdenticalSerial) {
+  AltSweepConfig cfg;
+  cfg.n = 20;
+  cfg.iterations = 4;
+  Real cs_pipe = 0.0, cs_trans = 0.0;
+  Machine::run(1, {}, [&](Communicator& comm) {
+    AltSweep a(cfg, ProcGrid<2>({1, 1}), 0);
+    for (int it = 0; it < cfg.iterations; ++it)
+      a.iterate(comm, VerticalStrategy::kPipelined);
+    cs_pipe = a.checksum(comm);
+  });
+  Machine::run(1, {}, [&](Communicator& comm) {
+    AltSweep a(cfg, ProcGrid<2>({1, 1}), 0);
+    for (int it = 0; it < cfg.iterations; ++it)
+      a.iterate(comm, VerticalStrategy::kTranspose);
+    cs_trans = a.checksum(comm);
+  });
+  EXPECT_DOUBLE_EQ(cs_pipe, cs_trans);
+}
+
+class AltDistributed
+    : public ::testing::TestWithParam<std::tuple<int, Coord>> {};
+
+TEST_P(AltDistributed, BothStrategiesMatchSerial) {
+  const int p = std::get<0>(GetParam());
+  const Coord block = std::get<1>(GetParam());
+  AltSweepConfig cfg;
+  cfg.n = 22;
+  cfg.iterations = 3;
+
+  Real serial_cs = 0.0, serial_res = 0.0;
+  Machine::run(1, {}, [&](Communicator& comm) {
+    serial_res = alt_sweep_spmd(comm, cfg, ProcGrid<2>({1, 1}),
+                                VerticalStrategy::kPipelined);
+    // Recompute checksum with a fresh app for determinism of the value.
+  });
+  Machine::run(1, {}, [&](Communicator& comm) {
+    AltSweep a(cfg, ProcGrid<2>({1, 1}), 0);
+    for (int it = 0; it < cfg.iterations; ++it)
+      a.iterate(comm, VerticalStrategy::kPipelined);
+    serial_cs = a.checksum(comm);
+  });
+
+  const ProcGrid<2> grid = ProcGrid<2>::along_dim(p, 0);
+  for (const VerticalStrategy strategy :
+       {VerticalStrategy::kPipelined, VerticalStrategy::kTranspose}) {
+    Machine::run(p, {}, [&](Communicator& comm) {
+      AltSweep a(cfg, grid, comm.rank());
+      WaveOptions opts;
+      opts.block = block;
+      for (int it = 0; it < cfg.iterations; ++it)
+        a.iterate(comm, strategy, opts);
+      const Real cs = a.checksum(comm);
+      const Real res = a.residual_norm(comm);
+      if (comm.rank() == 0) {
+        EXPECT_NEAR(cs, serial_cs, 1e-10 * std::abs(serial_cs));
+        EXPECT_NEAR(res, serial_res, 1e-12);
+      }
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GridsAndBlocks, AltDistributed,
+                         ::testing::Values(std::make_tuple(2, Coord{0}),
+                                           std::make_tuple(2, Coord{4}),
+                                           std::make_tuple(4, Coord{0}),
+                                           std::make_tuple(4, Coord{3})));
+
+TEST(AltSweep, TransposeStrategySendsMoreVolume) {
+  // The transpose moves O(n^2/p) elements per rank per sweep; pipelining
+  // only boundary faces. Check the traffic asymmetry directly.
+  AltSweepConfig cfg;
+  cfg.n = 32;
+  cfg.iterations = 1;
+  const ProcGrid<2> grid = ProcGrid<2>::along_dim(4, 0);
+  auto volume = [&](VerticalStrategy s) {
+    return Machine::run(4, {},
+                        [&](Communicator& comm) {
+                          alt_sweep_spmd(comm, cfg, grid, s, {});
+                        })
+        .total.elements_sent;
+  };
+  EXPECT_GT(volume(VerticalStrategy::kTranspose),
+            2 * volume(VerticalStrategy::kPipelined));
+}
+
+}  // namespace
+}  // namespace wavepipe

@@ -1,0 +1,162 @@
+// Unit tests: DenseArray (storage orders, strides, access) and DistArray.
+#include <gtest/gtest.h>
+
+#include "array/dist_array.hh"
+#include "array/io.hh"
+#include "comm/machine.hh"
+
+namespace wavepipe {
+namespace {
+
+TEST(DenseArray, RowMajorStrides) {
+  DenseArray<double, 2> a("a", Region<2>({{0, 0}}, {{3, 4}}),
+                          StorageOrder::kRowMajor);
+  EXPECT_EQ(a.stride(1), 1);
+  EXPECT_EQ(a.stride(0), 5);
+  EXPECT_EQ(contiguous_dim(StorageOrder::kRowMajor, 2), 1u);
+}
+
+TEST(DenseArray, ColMajorStrides) {
+  DenseArray<double, 2> a("a", Region<2>({{0, 0}}, {{3, 4}}),
+                          StorageOrder::kColMajor);
+  EXPECT_EQ(a.stride(0), 1);
+  EXPECT_EQ(a.stride(1), 4);
+  EXPECT_EQ(contiguous_dim(StorageOrder::kColMajor, 2), 0u);
+}
+
+TEST(DenseArray, OffsetRegionIndexing) {
+  // Arrays need not start at zero (distributed ranks allocate their slice
+  // in global coordinates).
+  DenseArray<int, 2> a("a", Region<2>({{10, 20}}, {{12, 22}}));
+  int v = 0;
+  for_each(a.region(), [&](const Idx<2>& i) { a(i) = v++; });
+  EXPECT_EQ(a(Idx<2>{{10, 20}}), 0);
+  EXPECT_EQ(a(10, 21), 1);
+  EXPECT_EQ(a(12, 22), 8);
+}
+
+TEST(DenseArray, VariadicAndIdxAccessAgree) {
+  DenseArray<double, 3> a("a", Region<3>({{1, 1, 1}}, {{3, 3, 3}}));
+  a(Idx<3>{{2, 3, 1}}) = 7.5;
+  EXPECT_DOUBLE_EQ(a(2, 3, 1), 7.5);
+}
+
+TEST(DenseArray, CheckedAccessThrowsOutside) {
+  DenseArray<double, 2> a("mesh", Region<2>({{0, 0}}, {{3, 3}}));
+  EXPECT_NO_THROW(a.at(Idx<2>{{3, 3}}));
+  try {
+    a.at(Idx<2>{{4, 0}});
+    FAIL();
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("mesh"), std::string::npos);
+  }
+}
+
+TEST(DenseArray, FillAndFillFn) {
+  DenseArray<double, 2> a("a", Region<2>({{1, 1}}, {{4, 4}}));
+  a.fill(2.5);
+  EXPECT_DOUBLE_EQ(a(3, 3), 2.5);
+  a.fill_fn([](const Idx<2>& i) { return static_cast<double>(i.v[0] * 10 + i.v[1]); });
+  EXPECT_DOUBLE_EQ(a(4, 2), 42.0);
+}
+
+TEST(DenseArray, CopyFromSubRegion) {
+  DenseArray<double, 2> a("a", Region<2>({{0, 0}}, {{5, 5}}));
+  DenseArray<double, 2> b("b", Region<2>({{0, 0}}, {{5, 5}}));
+  a.fill(1.0);
+  b.fill(9.0);
+  a.copy_from(b, Region<2>({{2, 2}}, {{3, 3}}));
+  EXPECT_DOUBLE_EQ(a(2, 2), 9.0);
+  EXPECT_DOUBLE_EQ(a(1, 2), 1.0);
+}
+
+TEST(DenseArray, MaxAbsDifference) {
+  DenseArray<double, 2> a("a", Region<2>({{0, 0}}, {{2, 2}}));
+  DenseArray<double, 2> b("b", Region<2>({{0, 0}}, {{2, 2}}));
+  a.fill(1.0);
+  b.fill(1.0);
+  b(1, 1) = 1.5;
+  EXPECT_DOUBLE_EQ(max_abs_difference(a, b), 0.5);
+}
+
+TEST(DenseArray, StorageOrderDoesNotChangeValues) {
+  const Region<2> r({{1, 1}}, {{6, 7}});
+  DenseArray<double, 2> row("r", r, StorageOrder::kRowMajor);
+  DenseArray<double, 2> col("c", r, StorageOrder::kColMajor);
+  auto f = [](const Idx<2>& i) { return static_cast<double>(i.v[0] * 100 + i.v[1]); };
+  row.fill_fn(f);
+  col.fill_fn(f);
+  EXPECT_DOUBLE_EQ(max_abs_difference(row, col), 0.0);
+}
+
+TEST(DistArray, LocalCoversOwnedPlusFluff) {
+  Machine::run(4, {}, [](Communicator& comm) {
+    const Layout<2> layout(Region<2>({{1, 1}}, {{8, 8}}),
+                           ProcGrid<2>({4, 1}), Idx<2>{{1, 0}});
+    DistArray<double, 2> a("a", layout, comm.rank());
+    EXPECT_TRUE(a.local().region().contains(a.owned()));
+    EXPECT_EQ(a.local().region(), layout.allocated(comm.rank()));
+  });
+}
+
+TEST(DistArray, FillOwnedAndExterior) {
+  const Layout<2> layout(Region<2>({{1, 1}}, {{4, 4}}), ProcGrid<2>({1, 1}),
+                         Idx<2>{{1, 1}});
+  DistArray<double, 2> a("a", layout, 0);
+  a.local().fill(0.0);
+  a.fill_owned([](const Idx<2>&) { return 1.0; });
+  a.fill_exterior([](const Idx<2>&) { return -1.0; });
+  EXPECT_DOUBLE_EQ(a(Idx<2>{{2, 2}}), 1.0);
+  EXPECT_DOUBLE_EQ(a(Idx<2>{{0, 2}}), -1.0);  // fluff outside global
+  EXPECT_DOUBLE_EQ(a(Idx<2>{{5, 5}}), -1.0);
+}
+
+TEST(GatherScatter, RoundTripAcrossMachine) {
+  Machine::run(6, {}, [](Communicator& comm) {
+    const Layout<2> layout(Region<2>({{1, 1}}, {{9, 8}}),
+                           ProcGrid<2>({3, 2}), Idx<2>{{1, 1}});
+    DistArray<double, 2> a("a", layout, comm.rank());
+    a.fill_owned([](const Idx<2>& i) {
+      return static_cast<double>(i.v[0] * 100 + i.v[1]);
+    });
+    auto full = gather_to_root(a, comm);
+    if (comm.rank() == 0) {
+      ASSERT_TRUE(full.has_value());
+      for_each(layout.global(), [&](const Idx<2>& i) {
+        EXPECT_DOUBLE_EQ((*full)(i), static_cast<double>(i.v[0] * 100 + i.v[1]));
+      });
+    } else {
+      EXPECT_FALSE(full.has_value());
+    }
+
+    // Scatter a modified array back out.
+    DenseArray<double, 2>* src = nullptr;
+    DenseArray<double, 2> modified("m", layout.global());
+    if (comm.rank() == 0) {
+      modified.fill_fn([](const Idx<2>& i) {
+        return static_cast<double>(i.v[0] - i.v[1]);
+      });
+      src = &modified;
+    }
+    DistArray<double, 2> b("b", layout, comm.rank());
+    scatter_from_root(src, b, comm);
+    for_each(b.owned(), [&](const Idx<2>& i) {
+      EXPECT_DOUBLE_EQ(b(i), static_cast<double>(i.v[0] - i.v[1]));
+    });
+  });
+}
+
+TEST(PackUnpack, CanonicalOrderRoundTrip) {
+  DenseArray<double, 2> a("a", Region<2>({{0, 0}}, {{4, 4}}));
+  a.fill_fn([](const Idx<2>& i) { return static_cast<double>(i.v[0] * 5 + i.v[1]); });
+  const Region<2> face = a.region().low_face(0, 2);
+  const auto buf = pack_region(a, face);
+  EXPECT_EQ(buf.size(), 10u);
+  DenseArray<double, 2> b("b", a.region());
+  b.fill(0.0);
+  unpack_region(b, face, buf);
+  for_each(face, [&](const Idx<2>& i) { EXPECT_DOUBLE_EQ(b(i), a(i)); });
+}
+
+}  // namespace
+}  // namespace wavepipe

@@ -1,0 +1,92 @@
+// Unit tests: static block selection (Eq 1) and the dynamic auto-tuner
+// (the paper's stated future work).
+#include <gtest/gtest.h>
+
+#include "exec/block_select.hh"
+#include "model/machines.hh"
+
+namespace wavepipe {
+namespace {
+
+TEST(StaticSelect, MatchesModelOptimum) {
+  const MachinePreset t3e = t3e_like();
+  const Coord b = select_block_static(t3e.costs, t3e.n, t3e.p);
+  EXPECT_NEAR(static_cast<double>(b), 23.0, 2.0);
+}
+
+TEST(StaticSelect, ClampsToRange) {
+  CostModel cm;
+  cm.alpha = 1e9;  // absurd startup => wants huge blocks
+  cm.beta = 0.0;
+  EXPECT_EQ(select_block_static(cm, 64, 8), 64);
+  CostModel cheap;
+  cheap.alpha = 1e-9;
+  cheap.beta = 100.0;
+  EXPECT_EQ(select_block_static(cheap, 64, 8), 1);
+}
+
+TEST(StaticSelect, SingleProcessorWholeExtent) {
+  CostModel cm;
+  cm.alpha = 100.0;
+  cm.beta = 1.0;
+  EXPECT_EQ(select_block_static(cm, 128, 1), 128);
+}
+
+TEST(AutoTuner, FindsTheModelOptimumOnModelCosts) {
+  // Feed the tuner the Model2 cost curve; it must settle within ~2x of the
+  // true optimum (the curve is flat near the minimum).
+  const MachinePreset t3e = t3e_like();
+  const PipelineModel model = model2_of(t3e);
+  const Coord truth = model.optimal_block_search(t3e.n, t3e.p);
+
+  BlockAutoTuner tuner(t3e.n);
+  while (!tuner.settled()) {
+    const Coord b = tuner.propose();
+    tuner.report(b, model.total_time(t3e.n, t3e.p, b));
+  }
+  const Coord found = tuner.best();
+  EXPECT_LE(model.total_time(t3e.n, t3e.p, found),
+            1.05 * model.total_time(t3e.n, t3e.p, truth));
+  EXPECT_GE(found, truth / 2);
+  EXPECT_LE(found, truth * 2);
+}
+
+TEST(AutoTuner, SettlesInBoundedMeasurements) {
+  BlockAutoTuner tuner(1024);
+  int steps = 0;
+  while (!tuner.settled() && steps < 100) {
+    const Coord b = tuner.propose();
+    tuner.report(b, 1000.0 / static_cast<double>(b) +
+                        static_cast<double>(b));  // min near 31
+    ++steps;
+  }
+  EXPECT_TRUE(tuner.settled());
+  EXPECT_LE(tuner.measurements(), 20u);  // geometric sweep + refinement
+}
+
+TEST(AutoTuner, SettledProposalIsBest) {
+  BlockAutoTuner tuner(64);
+  while (!tuner.settled()) {
+    const Coord b = tuner.propose();
+    tuner.report(b, std::abs(static_cast<double>(b) - 16.0));
+  }
+  EXPECT_EQ(tuner.propose(), tuner.best());
+  EXPECT_EQ(tuner.best(), 16);
+  EXPECT_DOUBLE_EQ(tuner.best_time(), 0.0);
+}
+
+TEST(AutoTuner, NoMeasurementsBestThrows) {
+  BlockAutoTuner tuner(64);
+  EXPECT_THROW(tuner.best(), ContractError);
+}
+
+TEST(AutoTuner, ExtentOneDegenerates) {
+  BlockAutoTuner tuner(1);
+  const Coord b = tuner.propose();
+  EXPECT_EQ(b, 1);
+  tuner.report(b, 1.0);
+  EXPECT_EQ(tuner.best(), 1);
+}
+
+}  // namespace
+}  // namespace wavepipe

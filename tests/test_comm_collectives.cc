@@ -1,0 +1,120 @@
+// Unit tests: tree-based collectives over the point-to-point layer,
+// parameterized over machine sizes including non-powers-of-two.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "comm/machine.hh"
+
+namespace wavepipe {
+namespace {
+
+class Collectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(Collectives, BarrierCompletesEverywhere) {
+  const int p = GetParam();
+  std::vector<int> after(static_cast<size_t>(p), 0);
+  Machine::run(p, {}, [&](Communicator& comm) {
+    comm.barrier();
+    after[static_cast<size_t>(comm.rank())] = 1;
+    comm.barrier();
+    // After the second barrier every rank observed the first one.
+    for (int r = 0; r < p; ++r) EXPECT_EQ(after[static_cast<size_t>(r)], 1);
+  });
+}
+
+TEST_P(Collectives, AllreduceSum) {
+  const int p = GetParam();
+  Machine::run(p, {}, [&](Communicator& comm) {
+    const auto total = comm.allreduce_sum<std::int64_t>(comm.rank() + 1);
+    EXPECT_EQ(total, static_cast<std::int64_t>(p) * (p + 1) / 2);
+  });
+}
+
+TEST_P(Collectives, AllreduceMaxMin) {
+  const int p = GetParam();
+  Machine::run(p, {}, [&](Communicator& comm) {
+    EXPECT_EQ(comm.allreduce_max(comm.rank()), p - 1);
+    EXPECT_EQ(comm.allreduce_min(comm.rank()), 0);
+    EXPECT_DOUBLE_EQ(comm.allreduce_max(static_cast<double>(comm.rank()) * 1.5),
+                     (p - 1) * 1.5);
+  });
+}
+
+TEST_P(Collectives, AllreduceVectorElementwise) {
+  const int p = GetParam();
+  Machine::run(p, {}, [&](Communicator& comm) {
+    std::vector<double> v = {1.0, static_cast<double>(comm.rank()), -1.0};
+    comm.allreduce(std::span<double>(v), [](double a, double b) { return a + b; });
+    EXPECT_DOUBLE_EQ(v[0], p);
+    EXPECT_DOUBLE_EQ(v[1], p * (p - 1) / 2.0);
+    EXPECT_DOUBLE_EQ(v[2], -p);
+  });
+}
+
+TEST_P(Collectives, BroadcastFromRoot) {
+  const int p = GetParam();
+  Machine::run(p, {}, [&](Communicator& comm) {
+    std::vector<int> v(5, comm.rank() == 0 ? 7 : -1);
+    comm.broadcast(std::span<int>(v));
+    for (int x : v) EXPECT_EQ(x, 7);
+  });
+}
+
+TEST_P(Collectives, GatherConcatenatesInRankOrder) {
+  const int p = GetParam();
+  Machine::run(p, {}, [&](Communicator& comm) {
+    // Rank r contributes r+1 copies of r (uneven chunk sizes).
+    std::vector<int> local(static_cast<size_t>(comm.rank() + 1), comm.rank());
+    const auto all = comm.gather(std::span<const int>(local));
+    if (comm.rank() == 0) {
+      ASSERT_EQ(all.size(), static_cast<size_t>(p) * (p + 1) / 2);
+      size_t at = 0;
+      for (int r = 0; r < p; ++r)
+        for (int k = 0; k <= r; ++k) EXPECT_EQ(all[at++], r);
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST_P(Collectives, GatherEmptyChunks) {
+  const int p = GetParam();
+  Machine::run(p, {}, [&](Communicator& comm) {
+    std::vector<double> local;
+    if (comm.rank() % 2 == 0) local.push_back(comm.rank() * 1.0);
+    const auto all = comm.gather(std::span<const double>(local));
+    if (comm.rank() == 0) {
+      ASSERT_EQ(all.size(), static_cast<size_t>((p + 1) / 2));
+    }
+  });
+}
+
+TEST_P(Collectives, RepeatedCollectivesDoNotCrossTalk) {
+  const int p = GetParam();
+  Machine::run(p, {}, [&](Communicator& comm) {
+    for (int round = 1; round <= 10; ++round) {
+      const auto s = comm.allreduce_sum<std::int64_t>(round);
+      EXPECT_EQ(s, static_cast<std::int64_t>(round) * p);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(MachineSizes, Collectives,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16));
+
+TEST(CollectivesVirtual, BarrierSynchronizesClocks) {
+  CostModel cm;
+  cm.alpha = 10.0;
+  cm.beta = 1.0;
+  auto res = Machine::run(4, cm, [](Communicator& comm) {
+    comm.compute(comm.rank() * 100.0);  // rank 3 is slowest at t=300
+    comm.barrier();
+    EXPECT_GE(comm.vtime(), 300.0);
+  });
+  EXPECT_GE(res.vtime_max, 300.0);
+}
+
+}  // namespace
+}  // namespace wavepipe

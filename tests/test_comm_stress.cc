@@ -1,0 +1,129 @@
+// Stress tests: the message-passing runtime under randomized traffic,
+// interleaved collectives, and heavy reuse — the conditions a long
+// pipelined run creates.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "comm/machine.hh"
+#include "support/rng.hh"
+
+namespace wavepipe {
+namespace {
+
+TEST(Stress, RandomizedAllToAllTraffic) {
+  // Every rank sends every other rank a deterministic pseudo-random
+  // number of tagged messages; receivers know the schedule and verify
+  // contents and FIFO order per (src, tag).
+  const int p = 6;
+  const int tags = 3;
+  auto count_for = [](int from, int to, int tag) {
+    SplitMix64 rng(static_cast<std::uint64_t>(from * 100 + to * 10 + tag));
+    return static_cast<int>(rng.uniform_int(0, 7));
+  };
+  Machine::run(p, {}, [&](Communicator& comm) {
+    const int me = comm.rank();
+    // Send everything first (buffered).
+    for (int to = 0; to < p; ++to) {
+      if (to == me) continue;
+      for (int tag = 0; tag < tags; ++tag) {
+        const int k = count_for(me, to, tag);
+        for (int s = 0; s < k; ++s)
+          comm.send_value(to, me * 1000000 + tag * 10000 + s, tag);
+      }
+    }
+    // Receive in a scrambled but deterministic order of (src, tag) pairs.
+    for (int tag = tags - 1; tag >= 0; --tag) {
+      for (int from = p - 1; from >= 0; --from) {
+        if (from == me) continue;
+        const int k = count_for(from, me, tag);
+        for (int s = 0; s < k; ++s) {
+          EXPECT_EQ(comm.recv_value<int>(from, tag),
+                    from * 1000000 + tag * 10000 + s);
+        }
+      }
+    }
+  });
+}
+
+TEST(Stress, CollectivesInterleavedWithP2P) {
+  const int p = 5;
+  Machine::run(p, {}, [&](Communicator& comm) {
+    const int me = comm.rank();
+    const int next = (me + 1) % p;
+    const int prev = (me + p - 1) % p;
+    std::int64_t acc = me;
+    for (int round = 0; round < 20; ++round) {
+      comm.send_value(next, acc, 11);
+      acc = comm.recv_value<std::int64_t>(prev, 11);
+      const auto total = comm.allreduce_sum(acc);
+      // Each round rotates the values, so the sum is invariant.
+      EXPECT_EQ(total, static_cast<std::int64_t>(p) * (p - 1) / 2);
+      if (round % 5 == 4) comm.barrier();
+    }
+  });
+}
+
+TEST(Stress, ManySmallMessagesOneDirection) {
+  const int n = 2000;
+  auto res = Machine::run(2, {}, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < n; ++i) comm.send_value(1, i);
+    } else {
+      long long sum = 0;
+      for (int i = 0; i < n; ++i) sum += comm.recv_value<int>(0);
+      EXPECT_EQ(sum, static_cast<long long>(n) * (n - 1) / 2);
+    }
+  });
+  EXPECT_EQ(res.total.messages_sent, static_cast<std::uint64_t>(n));
+}
+
+TEST(Stress, MachineSurvivesHundredsOfRuns) {
+  Machine m(3);
+  for (int round = 0; round < 300; ++round) {
+    m.run([round](Communicator& comm) {
+      const auto x = comm.allreduce_max(comm.rank() + round);
+      EXPECT_EQ(x, 2 + round);
+    });
+    ASSERT_EQ(m.pending_messages(), 0u);
+  }
+}
+
+TEST(Stress, LargePayloadIntegrity) {
+  const std::size_t n = 1 << 18;  // 2 MiB of doubles
+  Machine::run(2, {}, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> v(n);
+      std::iota(v.begin(), v.end(), 0.0);
+      comm.send(1, std::span<const double>(v));
+    } else {
+      std::vector<double> v(n);
+      comm.recv(0, std::span<double>(v));
+      for (std::size_t i = 0; i < n; i += 4097)
+        EXPECT_DOUBLE_EQ(v[i], static_cast<double>(i));
+      EXPECT_DOUBLE_EQ(v[n - 1], static_cast<double>(n - 1));
+    }
+  });
+}
+
+TEST(Stress, VirtualTimeMonotonePerRank) {
+  CostModel cm;
+  cm.alpha = 3.0;
+  cm.beta = 0.25;
+  Machine::run(4, cm, [&](Communicator& comm) {
+    double last = comm.vtime();
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    for (int i = 0; i < 50; ++i) {
+      comm.compute(1.0);
+      comm.send_value(next, i);
+      (void)comm.recv_value<int>(prev);
+      EXPECT_GE(comm.vtime(), last);
+      last = comm.vtime();
+    }
+  });
+}
+
+}  // namespace
+}  // namespace wavepipe

@@ -1,0 +1,172 @@
+// Unit tests: the virtual-time machine — the hardware substitution that
+// stands in for the paper's Cray T3E (DESIGN.md §2). Times must follow the
+// alpha + beta*n model exactly and be deterministic across runs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "comm/machine.hh"
+
+namespace wavepipe {
+namespace {
+
+CostModel costs(double alpha, double beta, double per_elem = 1.0) {
+  CostModel cm;
+  cm.alpha = alpha;
+  cm.beta = beta;
+  cm.compute_per_element = per_elem;
+  return cm;
+}
+
+TEST(VirtualTime, FreeModelNeverAdvances) {
+  auto res = Machine::run(2, {}, [](Communicator& comm) {
+    if (comm.rank() == 0)
+      comm.send_value(1, 1.0);
+    else
+      (void)comm.recv_value<double>(0);
+    EXPECT_DOUBLE_EQ(comm.vtime(), 0.0);
+  });
+  EXPECT_DOUBLE_EQ(res.vtime_max, 0.0);
+}
+
+TEST(VirtualTime, ComputeChargesPerElement) {
+  auto res = Machine::run(1, costs(0, 0, 2.5), [](Communicator& comm) {
+    comm.compute(10.0);
+    EXPECT_DOUBLE_EQ(comm.vtime(), 25.0);
+  });
+  EXPECT_DOUBLE_EQ(res.vtime_max, 25.0);
+}
+
+TEST(VirtualTime, MessageCostIsAlphaPlusBetaN) {
+  // Default (occupy_sender): the sender's clock absorbs alpha + beta*n and
+  // the message arrives at the sender's new time — consecutive messages on
+  // a path serialize, as in the paper's critical-path count.
+  Machine::run(2, costs(100, 3), [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> v(8, 1.0);
+      comm.send(1, std::span<const double>(v));
+      EXPECT_DOUBLE_EQ(comm.vtime(), 100.0 + 3.0 * 8.0);
+    } else {
+      std::vector<double> v(8);
+      comm.recv(0, std::span<double>(v));
+      EXPECT_DOUBLE_EQ(comm.vtime(), 100.0 + 3.0 * 8.0);
+    }
+  });
+}
+
+TEST(VirtualTime, LatencyModeOverlapsMessages) {
+  // With occupy_sender = false the cost is pure wire latency: the sender's
+  // clock does not advance and back-to-back messages overlap.
+  CostModel cm = costs(100, 3);
+  cm.occupy_sender = false;
+  Machine::run(2, cm, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 1.0);
+      comm.send_value(1, 2.0);
+      EXPECT_DOUBLE_EQ(comm.vtime(), 0.0);
+    } else {
+      (void)comm.recv_value<double>(0);
+      (void)comm.recv_value<double>(0);
+      // Both messages left at t=0 and arrive at 103 — they overlapped.
+      EXPECT_DOUBLE_EQ(comm.vtime(), 103.0);
+    }
+  });
+}
+
+TEST(VirtualTime, RecvTakesMaxOfOwnAndArrival) {
+  Machine::run(2, costs(10, 1), [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.compute(5.0);            // send at t=5
+      comm.send_value(1, 1.0);      // arrival = 5 + 10 + 1 = 16
+    } else {
+      comm.compute(100.0);          // receiver already at t=100
+      (void)comm.recv_value<double>(0);
+      EXPECT_DOUBLE_EQ(comm.vtime(), 100.0);  // max(100, 16)
+    }
+  });
+}
+
+TEST(VirtualTime, SendOverheadChargesSenderInLatencyMode) {
+  CostModel cm = costs(10, 1);
+  cm.occupy_sender = false;
+  cm.send_overhead = 2.0;
+  Machine::run(2, cm, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 1.0);
+      comm.send_value(1, 2.0);
+      EXPECT_DOUBLE_EQ(comm.vtime(), 4.0);
+    } else {
+      (void)comm.recv_value<double>(0);
+      (void)comm.recv_value<double>(0);
+      // Second message left at t=2: arrival = 2 + 10 + 1 = 13.
+      EXPECT_DOUBLE_EQ(comm.vtime(), 13.0);
+    }
+  });
+}
+
+TEST(VirtualTime, PipelineChainAccumulatesPerHop) {
+  // A relay chain: each hop adds alpha + beta (1 element).
+  const int p = 5;
+  auto res = Machine::run(p, costs(7, 2), [p](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 0.0);
+    } else {
+      (void)comm.recv_value<double>(comm.rank() - 1);
+      if (comm.rank() + 1 < p) comm.send_value(comm.rank() + 1, 0.0);
+    }
+  });
+  EXPECT_DOUBLE_EQ(res.vtime[static_cast<size_t>(p - 1)], (p - 1) * 9.0);
+}
+
+TEST(VirtualTime, DeterministicAcrossRuns) {
+  // Thread scheduling must not affect virtual times: run a mildly
+  // contended pattern repeatedly and demand identical makespans.
+  auto run_once = [] {
+    return Machine::run(4, costs(13, 0.5), [](Communicator& comm) {
+             const int p = comm.size();
+             // Each rank computes rank-dependent work, sends to the next,
+             // reduces, and broadcasts.
+             comm.compute(10.0 * (comm.rank() + 1));
+             const int next = (comm.rank() + 1) % p;
+             const int prev = (comm.rank() + p - 1) % p;
+             std::vector<double> v(16, 1.0);
+             comm.send(next, std::span<const double>(v));
+             comm.recv(prev, std::span<double>(v));
+             (void)comm.allreduce_sum(comm.vtime());
+             comm.barrier();
+           })
+        .vtime_max;
+  };
+  const double first = run_once();
+  for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(run_once(), first);
+}
+
+TEST(VirtualTime, WallClockStaysMeasured) {
+  auto res = Machine::run(2, costs(5, 5), [](Communicator& comm) {
+    comm.compute(1000.0);
+  });
+  EXPECT_GT(res.wall_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(res.vtime_max, 1000.0);
+}
+
+TEST(VirtualTime, PerRankTimesReported) {
+  auto res = Machine::run(3, costs(0, 0), [](Communicator& comm) {
+    comm.compute(10.0 * comm.rank());
+  });
+  ASSERT_EQ(res.vtime.size(), 3u);
+  EXPECT_DOUBLE_EQ(res.vtime[0], 0.0);
+  EXPECT_DOUBLE_EQ(res.vtime[1], 10.0);
+  EXPECT_DOUBLE_EQ(res.vtime[2], 20.0);
+  EXPECT_DOUBLE_EQ(res.vtime_max, 20.0);
+}
+
+TEST(CostModel, HelpersAndDescribe) {
+  CostModel cm = costs(3, 2);
+  EXPECT_FALSE(cm.is_free());
+  EXPECT_DOUBLE_EQ(cm.message_cost(5), 13.0);
+  EXPECT_TRUE(CostModel{}.is_free());
+  EXPECT_NE(cm.describe().find("alpha=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wavepipe

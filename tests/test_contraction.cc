@@ -1,0 +1,107 @@
+// Unit tests: array contraction analysis over compiled scan blocks.
+#include <gtest/gtest.h>
+
+#include "lang/contraction.hh"
+#include "lang/scan_block.hh"
+
+namespace wavepipe {
+namespace {
+
+class Contraction : public ::testing::Test {
+ protected:
+  static constexpr Coord n = 10;
+  Contraction()
+      : all_({{1, 1}}, {{n, n}}),
+        reg_({{2, 2}}, {{n - 1, n - 1}}),
+        r_("r", all_),
+        aa_("aa", all_),
+        d_("d", all_),
+        dd_("dd", all_),
+        rx_("rx", all_) {
+    r_.fill(0.0);
+    aa_.fill(-1.0);
+    d_.fill(0.25);
+    dd_.fill(4.0);
+    rx_.fill(1.0);
+  }
+  Region<2> all_, reg_;
+  DenseArray<Real, 2> r_, aa_, d_, dd_, rx_;
+};
+
+TEST_F(Contraction, TomcatvRIsTheCandidate) {
+  // The paper's motivating case: r is a promoted scalar; d and rx carry
+  // state across iterations (primed reads) and are not contractible.
+  auto plan = scan(reg_,
+                   r_ <<= aa_ * prime(d_, kNorth),
+                   d_ <<= 1.0 / (dd_ - at(aa_, kNorth) * r_),
+                   rx_ <<= rx_ - prime(rx_, kNorth) * r_)
+                  .compile();
+  const auto report = contraction_candidates(plan);
+  ASSERT_EQ(report.candidates.size(), 1u);
+  EXPECT_TRUE(report.contractible(r_));
+  EXPECT_FALSE(report.contractible(d_));
+  EXPECT_FALSE(report.contractible(rx_));
+  EXPECT_EQ(report.bytes, r_.raw().size() * sizeof(Real));
+}
+
+TEST_F(Contraction, SelfReadingStatementNotContractible) {
+  // r := r + ... reads the previous iteration's r.
+  auto plan = scan(reg_,
+                   r_ <<= r_ + prime(d_, kNorth),
+                   d_ <<= dd_ - r_)
+                  .compile();
+  const auto report = contraction_candidates(plan);
+  EXPECT_FALSE(report.contractible(r_));
+}
+
+TEST_F(Contraction, ShiftedReadNotContractible) {
+  auto plan = scan(reg_,
+                   r_ <<= aa_ * prime(d_, kNorth),
+                   d_ <<= dd_ - at(r_, kWest))
+                  .compile();
+  const auto report = contraction_candidates(plan);
+  EXPECT_FALSE(report.contractible(r_));
+}
+
+TEST_F(Contraction, ReadBeforeWriteNotContractible) {
+  // d reads r BEFORE the statement that writes r: the read sees the
+  // previous iteration's value.
+  auto plan = scan(reg_,
+                   d_ <<= dd_ - r_ + prime(d_, kNorth),
+                   r_ <<= aa_ * d_)
+                  .compile();
+  const auto report = contraction_candidates(plan);
+  EXPECT_FALSE(report.contractible(r_));
+}
+
+TEST_F(Contraction, MultipleWritersNotContractible) {
+  auto plan = scan(reg_,
+                   r_ <<= aa_ * prime(d_, kNorth),
+                   d_ <<= dd_ - r_,
+                   r_ <<= r_ * 0.5)
+                  .compile();
+  const auto report = contraction_candidates(plan);
+  EXPECT_FALSE(report.contractible(r_));
+}
+
+TEST_F(Contraction, WriteOnlyArrayIsContractible) {
+  // Written, never read in the block: trivially dead per iteration (the
+  // caller decides whether it is dead after the block too).
+  auto plan = scan(reg_,
+                   r_ <<= aa_ * prime(d_, kNorth),
+                   d_ <<= dd_ * 0.25 + prime(d_, kNorth))
+                  .compile();
+  const auto report = contraction_candidates(plan);
+  EXPECT_TRUE(report.contractible(r_));
+  EXPECT_FALSE(report.contractible(d_));
+}
+
+TEST_F(Contraction, ReadOnlyArraysNeverListed) {
+  auto plan = scan(reg_, d_ <<= dd_ + prime(d_, kNorth)).compile();
+  const auto report = contraction_candidates(plan);
+  EXPECT_FALSE(report.contractible(dd_));
+  EXPECT_TRUE(report.candidates.empty());
+}
+
+}  // namespace
+}  // namespace wavepipe

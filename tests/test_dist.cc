@@ -1,0 +1,158 @@
+// Unit tests: block distributions, processor grids, layouts.
+#include <gtest/gtest.h>
+
+#include "dist/layout.hh"
+
+namespace wavepipe {
+namespace {
+
+TEST(BlockDist, EvenSplit) {
+  BlockDist1D d(0, 7, 4);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(d.block_lo(k), 2 * k);
+    EXPECT_EQ(d.block_hi(k), 2 * k + 1);
+    EXPECT_EQ(d.block_size(k), 2);
+  }
+  EXPECT_EQ(d.max_block_size(), 2);
+}
+
+TEST(BlockDist, UnevenSplitDiffersByAtMostOne) {
+  BlockDist1D d(1, 10, 3);  // 10 elements over 3: 4,3,3
+  EXPECT_EQ(d.block_size(0), 4);
+  EXPECT_EQ(d.block_size(1), 3);
+  EXPECT_EQ(d.block_size(2), 3);
+  EXPECT_EQ(d.block_lo(0), 1);
+  EXPECT_EQ(d.block_lo(1), 5);
+  EXPECT_EQ(d.block_hi(2), 10);
+  EXPECT_EQ(d.max_block_size(), 4);
+}
+
+TEST(BlockDist, BlocksPartitionTheRange) {
+  BlockDist1D d(-3, 17, 5);
+  Coord expect_lo = -3;
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_EQ(d.block_lo(k), expect_lo);
+    expect_lo = d.block_hi(k) + 1;
+  }
+  EXPECT_EQ(expect_lo, 18);
+}
+
+TEST(BlockDist, OwnerIsConsistentWithBlocks) {
+  BlockDist1D d(0, 22, 7);
+  for (Coord c = 0; c <= 22; ++c) {
+    const int k = d.owner(c);
+    EXPECT_GE(c, d.block_lo(k));
+    EXPECT_LE(c, d.block_hi(k));
+  }
+  EXPECT_THROW(d.owner(23), ContractError);
+  EXPECT_THROW(d.owner(-1), ContractError);
+}
+
+TEST(BlockDist, MorePartsThanElements) {
+  BlockDist1D d(0, 2, 5);  // 3 elements, 5 parts: two parts empty
+  int nonempty = 0;
+  for (int k = 0; k < 5; ++k)
+    if (d.block_size(k) > 0) ++nonempty;
+  EXPECT_EQ(nonempty, 3);
+}
+
+TEST(Factorize, NearSquareShapes) {
+  EXPECT_EQ(factorize_processors(1, 2), (std::vector<int>{1, 1}));
+  EXPECT_EQ(factorize_processors(4, 2), (std::vector<int>{2, 2}));
+  EXPECT_EQ(factorize_processors(12, 2), (std::vector<int>{4, 3}));
+  EXPECT_EQ(factorize_processors(8, 3), (std::vector<int>{2, 2, 2}));
+  EXPECT_EQ(factorize_processors(7, 2), (std::vector<int>{7, 1}));
+  // Product always equals p.
+  for (int p = 1; p <= 64; ++p) {
+    const auto f = factorize_processors(p, 2);
+    EXPECT_EQ(f[0] * f[1], p);
+  }
+}
+
+TEST(ProcGrid, CoordsRoundTrip) {
+  const ProcGrid<2> g({3, 4});
+  EXPECT_EQ(g.size(), 12);
+  for (int r = 0; r < 12; ++r) {
+    EXPECT_EQ(g.rank_of(g.coords(r)), r);
+  }
+  EXPECT_EQ(g.coords(0), (std::array<int, 2>{0, 0}));
+  EXPECT_EQ(g.coords(11), (std::array<int, 2>{2, 3}));
+}
+
+TEST(ProcGrid, AlongDim) {
+  const auto g = ProcGrid<2>::along_dim(8, 0);
+  EXPECT_EQ(g.dim(0), 8);
+  EXPECT_EQ(g.dim(1), 1);
+  EXPECT_TRUE(g.distributed(0));
+  EXPECT_FALSE(g.distributed(1));
+}
+
+TEST(ProcGrid, Neighbors) {
+  const ProcGrid<2> g({2, 3});
+  const int r = g.rank_of({1, 1});
+  EXPECT_EQ(g.neighbor(r, 0, -1), g.rank_of({0, 1}));
+  EXPECT_EQ(g.neighbor(r, 1, +1), g.rank_of({1, 2}));
+  EXPECT_EQ(g.neighbor(g.rank_of({0, 0}), 0, -1), -1);  // off the grid
+  EXPECT_EQ(g.neighbor(g.rank_of({1, 2}), 1, +1), -1);
+}
+
+TEST(ProcGrid, FactoredPlacesFactorsOnRequestedDims) {
+  const auto g = ProcGrid<3>::factored(6, {0, 2});
+  EXPECT_EQ(g.dim(1), 1);
+  EXPECT_EQ(g.dim(0) * g.dim(2), 6);
+}
+
+TEST(Layout, OwnedBlocksPartitionGlobal) {
+  const Region<2> global({{1, 1}}, {{20, 13}});
+  const ProcGrid<2> grid({3, 2});
+  const Layout<2> layout(global, grid, Idx<2>{{1, 1}});
+  Coord total = 0;
+  for (int r = 0; r < grid.size(); ++r) total += layout.owned(r).size();
+  EXPECT_EQ(total, global.size());
+  // Blocks are disjoint.
+  for (int a = 0; a < grid.size(); ++a)
+    for (int b = a + 1; b < grid.size(); ++b)
+      EXPECT_TRUE(layout.owned(a).intersect(layout.owned(b)).empty());
+}
+
+TEST(Layout, AllocatedAddsFluff) {
+  const Region<2> global({{0, 0}}, {{9, 9}});
+  const Layout<2> layout(global, ProcGrid<2>({2, 1}), Idx<2>{{2, 1}});
+  const Region<2> owned0 = layout.owned(0);
+  const Region<2> alloc0 = layout.allocated(0);
+  EXPECT_EQ(alloc0.lo(0), owned0.lo(0) - 2);
+  EXPECT_EQ(alloc0.hi(0), owned0.hi(0) + 2);
+  EXPECT_EQ(alloc0.lo(1), owned0.lo(1) - 1);
+}
+
+TEST(Layout, OwnerOfAgreesWithOwned) {
+  const Region<2> global({{1, 1}}, {{17, 11}});
+  const ProcGrid<2> grid({4, 3});
+  const Layout<2> layout(global, grid, {});
+  for_each(global, [&](const Idx<2>& i) {
+    const int r = layout.owner_of(i);
+    EXPECT_TRUE(layout.owned(r).contains(i));
+  });
+}
+
+TEST(Layout, RejectsOversubscription) {
+  const Region<2> global({{1, 1}}, {{4, 4}});
+  EXPECT_THROW(Layout<2>(global, ProcGrid<2>({8, 1}), {}), ContractError);
+}
+
+TEST(Layout, MaxOwnedSize) {
+  const Region<2> global({{1, 1}}, {{10, 10}});
+  const Layout<2> layout(global, ProcGrid<2>({3, 1}), {});
+  EXPECT_EQ(layout.max_owned_size(), 4 * 10);
+}
+
+TEST(Layout, Rank3) {
+  const Region<3> global({{1, 1, 1}}, {{8, 8, 8}});
+  const Layout<3> layout(global, ProcGrid<3>({2, 2, 2}), Idx<3>{{1, 1, 1}});
+  Coord total = 0;
+  for (int r = 0; r < 8; ++r) total += layout.owned(r).size();
+  EXPECT_EQ(total, 512);
+}
+
+}  // namespace
+}  // namespace wavepipe

@@ -1,0 +1,335 @@
+// Distributed wavefront execution must be bit-identical to serial
+// execution: naive and pipelined schedules, both travel directions,
+// diagonal dependences, 2-D grids, and the error paths.
+#include <gtest/gtest.h>
+
+#include "array/io.hh"
+#include "exec/pipelined.hh"
+
+namespace wavepipe {
+namespace {
+
+Real fill_value(const Idx<2>& i) {
+  return 1.0 + 0.125 * static_cast<Real>((i.v[0] * 31 + i.v[1] * 17) % 23);
+}
+
+// Runs the two-array Tomcatv-ish block serially over the full region.
+void serial_reference(Coord n, DenseArray<Real, 2>& a, DenseArray<Real, 2>& b) {
+  a.fill_fn(fill_value);
+  b.fill_fn([](const Idx<2>& i) { return fill_value(i) + 0.5; });
+  const Region<2> reg({{2, 2}}, {{n - 1, n - 1}});
+  auto plan = scan(reg, a <<= 0.5 * prime(a, kNorth) + b,
+                   b <<= b - 0.25 * a + 0.125 * at(a, kSouth))
+                  .compile();
+  run_serial(plan);
+}
+
+// Runs the same block on p ranks (grid) with the given block size and
+// gathers the results; compares against the serial reference on rank 0.
+void expect_distributed_matches(Coord n, const ProcGrid<2>& grid,
+                                Coord block) {
+  const int p = grid.size();
+  Machine::run(p, {}, [&](Communicator& comm) {
+    const Region<2> global({{1, 1}}, {{n, n}});
+    const Region<2> reg({{2, 2}}, {{n - 1, n - 1}});
+    const Layout<2> layout(global, grid, Idx<2>{{1, 1}});
+    DistArray<Real, 2> a("a", layout, comm.rank());
+    DistArray<Real, 2> b("b", layout, comm.rank());
+    // Fill owned AND exterior fluff from the same global function the
+    // serial reference uses (interior fluff comes from the exchanges).
+    a.local().fill_fn(fill_value);
+    b.local().fill_fn([](const Idx<2>& i) { return fill_value(i) + 0.5; });
+
+    auto plan = scan(reg, a.local() <<= 0.5 * prime(a.local(), kNorth) + b.local(),
+                     b.local() <<= b.local() - 0.25 * a.local() +
+                                   0.125 * at(a.local(), kSouth))
+                    .compile();
+    WaveOptions opts;
+    opts.block = block;
+    const auto report = run_wavefront(plan, layout, comm, opts);
+    if (grid.distributed(0) && block > 0) {
+      EXPECT_TRUE(report.waved);
+    }
+
+    auto ga = gather_to_root(a, comm, 910);
+    auto gb = gather_to_root(b, comm, 920);
+    if (comm.rank() == 0) {
+      DenseArray<Real, 2> ra("ra", global), rb("rb", global);
+      serial_reference(n, ra, rb);
+      // Compare on the scan region plus untouched boundary.
+      Real max_diff = 0.0;
+      for_each(global, [&](const Idx<2>& i) {
+        max_diff = std::max(max_diff, std::abs((*ga)(i)-ra(i)));
+        max_diff = std::max(max_diff, std::abs((*gb)(i)-rb(i)));
+      });
+      EXPECT_EQ(max_diff, 0.0) << "grid " << grid.describe() << " block "
+                               << block;
+    }
+  });
+}
+
+TEST(Distributed, NaiveMatchesSerialP2) {
+  expect_distributed_matches(16, ProcGrid<2>::along_dim(2, 0), 0);
+}
+
+TEST(Distributed, NaiveMatchesSerialP5Uneven) {
+  expect_distributed_matches(17, ProcGrid<2>::along_dim(5, 0), 0);
+}
+
+TEST(Distributed, PipelinedBlock1) {
+  expect_distributed_matches(16, ProcGrid<2>::along_dim(4, 0), 1);
+}
+
+TEST(Distributed, PipelinedBlock3) {
+  expect_distributed_matches(16, ProcGrid<2>::along_dim(4, 0), 3);
+}
+
+TEST(Distributed, PipelinedBlockLargerThanExtent) {
+  expect_distributed_matches(16, ProcGrid<2>::along_dim(4, 0), 1000);
+}
+
+TEST(Distributed, TwoDimensionalGrid) {
+  // Wavefront dim 0 distributed over 2, parallel dim 1 over 2: each grid
+  // column pipelines independently (the paper's Fig 4 configuration).
+  expect_distributed_matches(16, ProcGrid<2>({2, 2}), 2);
+}
+
+TEST(Distributed, TwoDimensionalGridUneven) {
+  expect_distributed_matches(19, ProcGrid<2>({3, 2}), 4);
+}
+
+TEST(Distributed, SingleRankDegenerates) {
+  expect_distributed_matches(12, ProcGrid<2>({1, 1}), 3);
+}
+
+TEST(Distributed, SouthTravelMirrors) {
+  const Coord n = 14;
+  const ProcGrid<2> grid = ProcGrid<2>::along_dim(3, 0);
+  Machine::run(3, {}, [&](Communicator& comm) {
+    const Region<2> global({{1, 1}}, {{n, n}});
+    const Region<2> reg({{2, 2}}, {{n - 1, n - 1}});
+    const Layout<2> layout(global, grid, Idx<2>{{1, 1}});
+    DistArray<Real, 2> a("a", layout, comm.rank());
+    a.local().fill_fn(fill_value);
+    auto plan =
+        scan(reg, a.local() <<= 0.5 * prime(a.local(), kSouth) + 1.0).compile();
+    EXPECT_EQ(plan.travel(), -1);
+    WaveOptions opts;
+    opts.block = 2;
+    run_wavefront(plan, layout, comm, opts);
+    auto g = gather_to_root(a, comm);
+    if (comm.rank() == 0) {
+      DenseArray<Real, 2> r("r", global);
+      r.fill_fn(fill_value);
+      auto rp = scan(reg, r <<= 0.5 * prime(r, kSouth) + 1.0).compile();
+      run_serial(rp);
+      EXPECT_DOUBLE_EQ(max_abs_difference(*g, r), 0.0);
+    }
+  });
+}
+
+TEST(Distributed, DiagonalDependenceSmithWatermanShape) {
+  const Coord n = 15;
+  for (Coord block : {1, 2, 4, 100}) {
+    const ProcGrid<2> grid = ProcGrid<2>::along_dim(3, 0);
+    Machine::run(3, {}, [&](Communicator& comm) {
+      const Region<2> global({{0, 0}}, {{n, n}});
+      const Region<2> reg({{1, 1}}, {{n, n}});
+      const Layout<2> layout(global, grid, Idx<2>{{1, 1}});
+      DistArray<Real, 2> h("h", layout, comm.rank());
+      h.local().fill(0.0);
+      auto plan = scan(reg, h.local() <<= max_e(0.0,
+                                               prime(h.local(), kNorthWest) +
+                                                   0.25) +
+                                          0.125 * prime(h.local(), kNorth) +
+                                          0.0625 * prime(h.local(), kWest))
+                      .compile();
+      EXPECT_EQ(plan.lateral_halo, 1);
+      WaveOptions opts;
+      opts.block = block;
+      run_wavefront(plan, layout, comm, opts);
+      auto g = gather_to_root(h, comm);
+      if (comm.rank() == 0) {
+        DenseArray<Real, 2> r("r", global);
+        r.fill(0.0);
+        auto rp = scan(reg, r <<= max_e(0.0, prime(r, kNorthWest) + 0.25) +
+                                  0.125 * prime(r, kNorth) +
+                                  0.0625 * prime(r, kWest))
+                      .compile();
+        run_serial(rp);
+        EXPECT_DOUBLE_EQ(max_abs_difference(*g, r), 0.0)
+            << "block " << block;
+      }
+    });
+  }
+}
+
+TEST(Distributed, AntiDependenceOnlyIsFullyParallel) {
+  // Fig 3(a) distributed: unprimed a@north is an anti-dependence; the
+  // plan has no wavefront and the executor needs only the pre-exchange.
+  const Coord n = 12;
+  const ProcGrid<2> grid = ProcGrid<2>::along_dim(4, 0);
+  auto res = Machine::run(4, {}, [&](Communicator& comm) {
+    const Region<2> global({{1, 1}}, {{n, n}});
+    const Layout<2> layout(global, grid, Idx<2>{{1, 0}});
+    DistArray<Real, 2> a("a", layout, comm.rank());
+    a.local().fill_fn(fill_value);
+    auto plan = scan(Region<2>({{2, 1}}, {{n, n}}),
+                     a.local() <<= 2.0 * at(a.local(), kNorth))
+                    .compile();
+    EXPECT_FALSE(plan.has_wavefront());
+    const auto report = run_wavefront(plan, layout, comm, {});
+    EXPECT_FALSE(report.waved);
+    auto g = gather_to_root(a, comm);
+    if (comm.rank() == 0) {
+      DenseArray<Real, 2> r("r", global);
+      r.fill_fn(fill_value);
+      auto rp = scan(Region<2>({{2, 1}}, {{n, n}}), r <<= 2.0 * at(r, kNorth))
+                    .compile();
+      run_serial(rp);
+      EXPECT_DOUBLE_EQ(max_abs_difference(*g, r), 0.0);
+    }
+  });
+  (void)res;
+}
+
+TEST(Distributed, SerializedDimensionMayNotBeDistributed) {
+  // WSV (-,-) serializes dim 1; distributing it must be rejected.
+  EXPECT_THROW(
+      Machine::run(2, {},
+                   [&](Communicator& comm) {
+                     const ProcGrid<2> grid = ProcGrid<2>::along_dim(2, 1);
+                     const Layout<2> layout(Region<2>({{0, 0}}, {{9, 9}}),
+                                            grid, Idx<2>{{1, 1}});
+                     DistArray<Real, 2> a("a", layout, comm.rank());
+                     auto plan = scan(Region<2>({{1, 1}}, {{9, 9}}),
+                                      a.local() <<= prime(a.local(), kNorth) +
+                                                    prime(a.local(), kWest))
+                                     .compile();
+                     run_wavefront(plan, layout, comm, {});
+                   }),
+      ContractError);
+}
+
+TEST(Distributed, RightmostChoiceDistributesDim1) {
+  // The same (-,-) block with the rightmost policy waves along dim 1, so
+  // distributing dim 1 is now legal.
+  const Coord n = 12;
+  const ProcGrid<2> grid = ProcGrid<2>::along_dim(3, 1);
+  Machine::run(3, {}, [&](Communicator& comm) {
+    const Region<2> global({{0, 0}}, {{n, n}});
+    const Region<2> reg({{1, 1}}, {{n, n}});
+    const Layout<2> layout(global, grid, Idx<2>{{1, 1}});
+    DistArray<Real, 2> a("a", layout, comm.rank());
+    a.local().fill_fn(fill_value);
+    auto plan = scan_with_choice(reg, WavefrontChoice::kRightmost,
+                                 a.local() <<= 0.5 * prime(a.local(), kNorth) +
+                                               0.25 * prime(a.local(), kWest))
+                    .compile();
+    EXPECT_EQ(plan.wdim(), 1u);
+    WaveOptions opts;
+    opts.block = 3;
+    const auto rep = run_wavefront(plan, layout, comm, opts);
+    EXPECT_TRUE(rep.waved);
+    EXPECT_EQ(rep.tile_dim, 0u);  // tiles run along the serialized dim 0
+    auto g = gather_to_root(a, comm);
+    if (comm.rank() == 0) {
+      DenseArray<Real, 2> r("r", global);
+      r.fill_fn(fill_value);
+      auto rp = scan_with_choice(reg, WavefrontChoice::kRightmost,
+                                 r <<= 0.5 * prime(r, kNorth) +
+                                       0.25 * prime(r, kWest))
+                    .compile();
+      run_serial(rp);
+      EXPECT_DOUBLE_EQ(max_abs_difference(*g, r), 0.0);
+    }
+  });
+}
+
+TEST(Distributed, Rank3OctantMatchesSerial) {
+  const Coord n = 8;
+  const ProcGrid<3> grid = ProcGrid<3>::along_dim(2, 0);
+  Machine::run(2, {}, [&](Communicator& comm) {
+    const Region<3> global({{1, 1, 1}}, {{n, n, n}});
+    const Layout<3> layout(global, grid, Idx<3>{{1, 1, 1}});
+    DistArray<Real, 3> phi("phi", layout, comm.rank());
+    phi.local().fill(0.0);
+    phi.fill_owned([](const Idx<3>& i) {
+      return 0.01 * static_cast<Real>(i.v[0] + i.v[1] + i.v[2]);
+    });
+    const Direction<3> ux{{-1, 0, 0}}, uy{{0, -1, 0}}, uz{{0, 0, -1}};
+    auto plan = scan(global, phi.local() <<= 0.4 * prime(phi.local(), ux) +
+                                             0.3 * prime(phi.local(), uy) +
+                                             0.2 * prime(phi.local(), uz) +
+                                             1.0)
+                    .compile();
+    WaveOptions opts;
+    opts.block = 3;
+    run_wavefront(plan, layout, comm, opts);
+    auto g = gather_to_root(phi, comm);
+    if (comm.rank() == 0) {
+      DenseArray<Real, 3> r("r", global.expanded(Idx<3>{{1, 1, 1}}));
+      r.fill(0.0);
+      for_each(global, [&](const Idx<3>& i) {
+        r(i) = 0.01 * static_cast<Real>(i.v[0] + i.v[1] + i.v[2]);
+      });
+      auto rp = scan(global, r <<= 0.4 * prime(r, ux) + 0.3 * prime(r, uy) +
+                                   0.2 * prime(r, uz) + 1.0)
+                    .compile();
+      run_serial(rp);
+      Real max_diff = 0.0;
+      for_each(global, [&](const Idx<3>& i) {
+        max_diff = std::max(max_diff, std::abs((*g)(i)-r(i)));
+      });
+      EXPECT_EQ(max_diff, 0.0);
+    }
+  });
+}
+
+TEST(Distributed, ReportCountsTiles) {
+  const Coord n = 18;  // interior extent 16 along the tile dim
+  const ProcGrid<2> grid = ProcGrid<2>::along_dim(2, 0);
+  Machine::run(2, {}, [&](Communicator& comm) {
+    const Region<2> global({{1, 1}}, {{n, n}});
+    const Region<2> reg({{2, 2}}, {{n - 1, n - 1}});
+    const Layout<2> layout(global, grid, Idx<2>{{1, 1}});
+    DistArray<Real, 2> a("a", layout, comm.rank());
+    a.local().fill(1.0);
+    auto plan = scan(reg, a.local() <<= prime(a.local(), kNorth) * 0.5)
+                    .compile();
+    WaveOptions opts;
+    opts.block = 5;
+    const auto rep = run_wavefront(plan, layout, comm, opts);
+    EXPECT_TRUE(rep.waved);
+    EXPECT_EQ(rep.block, 5);
+    EXPECT_EQ(rep.tiles, (16 + 4) / 5);  // ceil(16/5) = 4
+    EXPECT_EQ(rep.tile_dim, 1u);
+  });
+}
+
+TEST(Distributed, MessageCountsScaleWithTiles) {
+  const Coord n = 34;  // interior 32
+  const ProcGrid<2> grid = ProcGrid<2>::along_dim(2, 0);
+  auto run_with_block = [&](Coord block) {
+    return Machine::run(2, {}, [&](Communicator& comm) {
+      const Region<2> global({{1, 1}}, {{n, n}});
+      const Region<2> reg({{2, 2}}, {{n - 1, n - 1}});
+      const Layout<2> layout(global, grid, Idx<2>{{1, 1}});
+      DistArray<Real, 2> a("a", layout, comm.rank());
+      a.local().fill(1.0);
+      auto plan = scan(reg, a.local() <<= prime(a.local(), kNorth) * 0.5)
+                      .compile();
+      WaveOptions opts;
+      opts.block = block;
+      opts.pre_exchange = false;  // isolate the wave messages
+      run_wavefront(plan, layout, comm, opts);
+    });
+  };
+  const auto res_naive = run_with_block(0);
+  const auto res_pipe = run_with_block(4);
+  EXPECT_EQ(res_naive.total.messages_sent, 1u);
+  EXPECT_EQ(res_pipe.total.messages_sent, 8u);  // 32/4 tiles
+}
+
+}  // namespace
+}  // namespace wavepipe

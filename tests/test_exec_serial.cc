@@ -1,0 +1,200 @@
+// Unit tests: serial executors — pencil iteration, fused execution in
+// derived loop orders, the unfused array-semantics baseline, and parallel
+// statement application.
+#include <gtest/gtest.h>
+
+#include "exec/serial.hh"
+#include "exec/unfused.hh"
+
+namespace wavepipe {
+namespace {
+
+TEST(IteratePencils, CanonicalOrder2D) {
+  const Region<2> r({{1, 1}}, {{2, 3}});
+  LoopStructure<2> ls{{0, 1}, {+1, +1}};
+  std::vector<std::tuple<Idx<2>, Rank, Coord, Coord>> calls;
+  iterate_pencils(r, ls, [&](Idx<2> i, Rank inner, Coord step, Coord count) {
+    calls.emplace_back(i, inner, step, count);
+  });
+  ASSERT_EQ(calls.size(), 2u);  // one pencil per dim-0 row
+  EXPECT_EQ(std::get<0>(calls[0]), (Idx<2>{{1, 1}}));
+  EXPECT_EQ(std::get<1>(calls[0]), 1u);
+  EXPECT_EQ(std::get<2>(calls[0]), 1);
+  EXPECT_EQ(std::get<3>(calls[0]), 3);
+  EXPECT_EQ(std::get<0>(calls[1]), (Idx<2>{{2, 1}}));
+}
+
+TEST(IteratePencils, DescendingOuterAndInner) {
+  const Region<2> r({{1, 1}}, {{3, 2}});
+  LoopStructure<2> ls{{0, 1}, {-1, -1}};
+  std::vector<Idx<2>> starts;
+  iterate_pencils(r, ls, [&](Idx<2> i, Rank, Coord step, Coord) {
+    starts.push_back(i);
+    EXPECT_EQ(step, -1);
+  });
+  ASSERT_EQ(starts.size(), 3u);
+  EXPECT_EQ(starts[0], (Idx<2>{{3, 2}}));  // starts at the high corner
+  EXPECT_EQ(starts[2], (Idx<2>{{1, 2}}));
+}
+
+TEST(IteratePencils, PermutedOrderInnerIsDim0) {
+  const Region<2> r({{0, 0}}, {{2, 1}});
+  LoopStructure<2> ls{{1, 0}, {+1, +1}};  // dim1 outer, dim0 inner
+  std::vector<std::pair<Idx<2>, Rank>> calls;
+  iterate_pencils(r, ls, [&](Idx<2> i, Rank inner, Coord, Coord count) {
+    calls.emplace_back(i, inner);
+    EXPECT_EQ(count, 3);
+  });
+  ASSERT_EQ(calls.size(), 2u);  // one pencil per dim-1 column
+  EXPECT_EQ(calls[0].second, 0u);
+  EXPECT_EQ(calls[0].first, (Idx<2>{{0, 0}}));
+  EXPECT_EQ(calls[1].first, (Idx<2>{{0, 1}}));
+}
+
+TEST(IteratePencils, Rank1SinglePencil) {
+  const Region<1> r({{5}}, {{9}});
+  LoopStructure<1> ls{{0}, {-1}};
+  int calls = 0;
+  iterate_pencils(r, ls, [&](Idx<1> i, Rank inner, Coord step, Coord count) {
+    ++calls;
+    EXPECT_EQ(i[0], 9);
+    EXPECT_EQ(inner, 0u);
+    EXPECT_EQ(step, -1);
+    EXPECT_EQ(count, 5);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(IteratePencils, Rank3CoversWholeRegion) {
+  const Region<3> r({{0, 0, 0}}, {{2, 3, 1}});
+  LoopStructure<3> ls{{2, 0, 1}, {+1, -1, +1}};
+  Coord visited = 0;
+  iterate_pencils(r, ls, [&](Idx<3>, Rank inner, Coord, Coord count) {
+    EXPECT_EQ(inner, 1u);
+    visited += count;
+  });
+  EXPECT_EQ(visited, r.size());
+}
+
+TEST(RunSerial, CoverageValidationRejectsSmallArrays) {
+  DenseArray<Real, 2> a("a", Region<2>({{2, 2}}, {{5, 5}}));
+  const Region<2> reg({{2, 2}}, {{5, 5}});
+  // a@north reads row 1, which a does not allocate.
+  auto plan = scan(reg, a <<= prime(a, kNorth)).compile();
+  EXPECT_THROW(run_serial(plan), ContractError);
+}
+
+TEST(RunSerial, WavefrontInnermostForColMajor) {
+  // Column-major Tomcatv-style block: the derived structure should put
+  // dim 0 (contiguous) innermost — the interchange of Fig 6.
+  DenseArray<Real, 2> a("a", Region<2>({{1, 1}}, {{8, 8}}),
+                        StorageOrder::kColMajor);
+  a.fill(1.0);
+  auto plan =
+      scan(Region<2>({{2, 1}}, {{8, 8}}), a <<= prime(a, kNorth) * 1.5)
+          .compile();
+  EXPECT_EQ(plan.loops.order[1], 0u);
+  run_serial(plan);
+  EXPECT_DOUBLE_EQ(a(8, 1), std::pow(1.5, 7.0));
+}
+
+TEST(RunSerial, RowMajorPrefersDim1Innermost) {
+  DenseArray<Real, 2> a("a", Region<2>({{1, 1}}, {{8, 8}}),
+                        StorageOrder::kRowMajor);
+  a.fill(1.0);
+  auto plan =
+      scan(Region<2>({{2, 1}}, {{8, 8}}), a <<= prime(a, kNorth) * 1.5)
+          .compile();
+  EXPECT_EQ(plan.loops.order[1], 1u);
+}
+
+TEST(RunSerialOn, SubRegionOnlyTouchesSub) {
+  DenseArray<Real, 2> a("a", Region<2>({{0, 0}}, {{9, 9}}));
+  a.fill(1.0);
+  auto plan = scan(Region<2>({{1, 0}}, {{9, 9}}), a <<= a + 1.0).compile();
+  run_serial_on(plan, Region<2>({{2, 3}}, {{4, 5}}));
+  EXPECT_DOUBLE_EQ(a(3, 4), 2.0);
+  EXPECT_DOUBLE_EQ(a(5, 4), 1.0);
+  EXPECT_DOUBLE_EQ(a(3, 6), 1.0);
+}
+
+TEST(ApplyStatement, InPlaceWhenNoSelfShift) {
+  DenseArray<Real, 2> a("a", Region<2>({{0, 0}}, {{4, 4}}));
+  DenseArray<Real, 2> b("b", Region<2>({{0, 0}}, {{4, 4}}));
+  a.fill(2.0);
+  b.fill(3.0);
+  apply_statement(Region<2>({{0, 0}}, {{4, 4}}), a <<= a * b);
+  EXPECT_DOUBLE_EQ(a(2, 2), 6.0);
+}
+
+TEST(ApplyStatement, ArraySemanticsWithSelfShift) {
+  // a := a + a@east over a row: array semantics evaluate the whole RHS
+  // before assigning, so every element must see OLD east values.
+  DenseArray<Real, 2> a("a", Region<2>({{0, 0}}, {{0, 4}}));
+  for (Coord j = 0; j <= 4; ++j) a(0, j) = static_cast<Real>(j);
+  apply_statement(Region<2>({{0, 0}}, {{0, 3}}), a <<= a + at(a, kEast));
+  EXPECT_DOUBLE_EQ(a(0, 0), 1.0);  // 0 + old 1
+  EXPECT_DOUBLE_EQ(a(0, 1), 3.0);  // 1 + old 2
+  EXPECT_DOUBLE_EQ(a(0, 2), 5.0);  // 2 + old 3  (NOT 2 + new 7)
+  EXPECT_DOUBLE_EQ(a(0, 3), 7.0);
+}
+
+TEST(ApplyStatement, RejectsPrimedReferences) {
+  DenseArray<Real, 2> a("a", Region<2>({{1, 1}}, {{4, 4}}));
+  EXPECT_THROW(
+      apply_statement(Region<2>({{2, 2}}, {{3, 3}}), a <<= prime(a, kNorth)),
+      ContractError);
+}
+
+TEST(ApplyAll, RunsStatementsInOrder) {
+  DenseArray<Real, 2> a("a", Region<2>({{0, 0}}, {{2, 2}}));
+  DenseArray<Real, 2> b("b", Region<2>({{0, 0}}, {{2, 2}}));
+  a.fill(1.0);
+  b.fill(0.0);
+  const Region<2> r({{0, 0}}, {{2, 2}});
+  apply_all(r, b <<= a + 1.0, a <<= b * 10.0);
+  EXPECT_DOUBLE_EQ(b(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 20.0);
+}
+
+TEST(RunUnfused, MatchesFusedOnMultiStatementWavefront) {
+  const Coord n = 10;
+  const Region<2> all({{1, 1}}, {{n, n}});
+  const Region<2> reg({{2, 2}}, {{n - 1, n - 1}});
+  DenseArray<Real, 2> a1("a1", all), b1("b1", all);
+  DenseArray<Real, 2> a2("a2", all), b2("b2", all);
+  auto fill = [](DenseArray<Real, 2>& x) {
+    x.fill_fn([](const Idx<2>& i) {
+      return 1.0 + 0.1 * static_cast<Real>((i.v[0] * 13 + i.v[1] * 7) % 11);
+    });
+  };
+  fill(a1);
+  fill(b1);
+  fill(a2);
+  fill(b2);
+
+  auto p1 = scan(reg, a1 <<= 0.5 * prime(a1, kNorth) + b1,
+                 b1 <<= b1 - 0.125 * a1)
+                .compile();
+  auto p2 = scan(reg, a2 <<= 0.5 * prime(a2, kNorth) + b2,
+                 b2 <<= b2 - 0.125 * a2)
+                .compile();
+  run_serial(p1);
+  run_unfused(p2);
+  EXPECT_LT(max_abs_difference(a1, a2), 1e-14);
+  EXPECT_LT(max_abs_difference(b1, b2), 1e-14);
+}
+
+TEST(RunUnfused, FullyParallelPlanSingleSlice) {
+  DenseArray<Real, 2> a("a", Region<2>({{1, 1}}, {{5, 5}}));
+  DenseArray<Real, 2> b("b", Region<2>({{1, 1}}, {{5, 5}}));
+  a.fill(3.0);
+  b.fill(0.0);
+  auto plan = scan(Region<2>({{1, 1}}, {{5, 5}}), b <<= a * 2.0).compile();
+  EXPECT_FALSE(plan.has_wavefront());
+  run_unfused(plan);
+  EXPECT_DOUBLE_EQ(b(5, 5), 6.0);
+}
+
+}  // namespace
+}  // namespace wavepipe

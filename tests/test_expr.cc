@@ -1,0 +1,167 @@
+// Unit tests: expression templates — evaluation, shift composition, access
+// metadata collection, and statement building.
+#include <gtest/gtest.h>
+
+#include "exec/serial.hh"
+#include "lang/statement.hh"
+
+namespace wavepipe {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  ExprTest()
+      : a_("a", Region<2>({{0, 0}}, {{4, 4}})),
+        b_("b", Region<2>({{0, 0}}, {{4, 4}})) {
+    a_.fill_fn([](const Idx<2>& i) { return static_cast<Real>(i.v[0] * 10 + i.v[1]); });
+    b_.fill(2.0);
+  }
+  DenseArray<Real, 2> a_, b_;
+};
+
+TEST_F(ExprTest, LeafEvalUnshifted) {
+  const auto e = ref(a_);
+  EXPECT_DOUBLE_EQ(e.eval(Idx<2>{{2, 3}}), 23.0);
+}
+
+TEST_F(ExprTest, ShiftEvalReadsNeighbour) {
+  EXPECT_DOUBLE_EQ(at(a_, kNorth).eval(Idx<2>{{2, 3}}), 13.0);
+  EXPECT_DOUBLE_EQ(at(a_, kEast).eval(Idx<2>{{2, 3}}), 24.0);
+}
+
+TEST_F(ExprTest, ShiftsCompose) {
+  const auto e = at(a_, kNorth).at(kWest);  // net (-1,-1)
+  EXPECT_DOUBLE_EQ(e.eval(Idx<2>{{2, 3}}), 12.0);
+}
+
+TEST_F(ExprTest, ArithmeticAndPrecedence) {
+  const auto e = 1.0 + a_ * 2.0 - b_ / 2.0;
+  EXPECT_DOUBLE_EQ(e.eval(Idx<2>{{1, 1}}), 1.0 + 22.0 - 1.0);
+}
+
+TEST_F(ExprTest, ScalarOnEitherSide) {
+  EXPECT_DOUBLE_EQ((3.0 - a_).eval(Idx<2>{{0, 1}}), 2.0);
+  EXPECT_DOUBLE_EQ((a_ - 3.0).eval(Idx<2>{{0, 1}}), -2.0);
+  EXPECT_DOUBLE_EQ((10.0 / b_).eval(Idx<2>{{0, 0}}), 5.0);
+}
+
+TEST_F(ExprTest, UnaryAndFunctions) {
+  EXPECT_DOUBLE_EQ((-a_).eval(Idx<2>{{1, 2}}), -12.0);
+  EXPECT_DOUBLE_EQ(abs_e(-a_).eval(Idx<2>{{1, 2}}), 12.0);
+  EXPECT_DOUBLE_EQ(sqrt_e(b_ * b_).eval(Idx<2>{{3, 3}}), 2.0);
+  EXPECT_DOUBLE_EQ(min_e(a_, 5.0).eval(Idx<2>{{1, 2}}), 5.0);
+  EXPECT_DOUBLE_EQ(max_e(a_, 5.0).eval(Idx<2>{{0, 1}}), 5.0);
+  EXPECT_DOUBLE_EQ(exp_e(a_ * 0.0).eval(Idx<2>{{2, 2}}), 1.0);
+}
+
+TEST_F(ExprTest, CollectRecordsEveryAccess) {
+  const auto e = a_ * prime(b_, kNorth) + at(a_, kEast) - 1.0;
+  std::vector<Access<2>> reads;
+  e.collect(reads);
+  ASSERT_EQ(reads.size(), 3u);
+  EXPECT_EQ(reads[0].array->id(), a_.id());
+  EXPECT_TRUE(reads[0].dir.is_zero());
+  EXPECT_FALSE(reads[0].primed);
+  EXPECT_EQ(reads[1].array->id(), b_.id());
+  EXPECT_EQ(reads[1].dir, kNorth);
+  EXPECT_TRUE(reads[1].primed);
+  EXPECT_EQ(reads[2].dir, kEast);
+  EXPECT_FALSE(reads[2].primed);
+}
+
+TEST_F(ExprTest, PrimeThenShiftEqualsPrimeWithShift) {
+  const auto e1 = prime(a_).at(kNorth);
+  const auto e2 = prime(a_, kNorth);
+  std::vector<Access<2>> r1, r2;
+  e1.collect(r1);
+  e2.collect(r2);
+  EXPECT_EQ(r1[0].dir, r2[0].dir);
+  EXPECT_EQ(r1[0].primed, r2[0].primed);
+  EXPECT_DOUBLE_EQ(e1.eval(Idx<2>{{2, 2}}), e2.eval(Idx<2>{{2, 2}}));
+}
+
+TEST_F(ExprTest, StatementSpecCapturesLhsAndExpr) {
+  const auto spec = b_ <<= a_ + 1.0;
+  EXPECT_EQ(spec.lhs, &b_);
+  EXPECT_DOUBLE_EQ(spec.expr.eval(Idx<2>{{2, 2}}), 23.0);
+}
+
+TEST_F(ExprTest, ToStatementEvaluators) {
+  const auto st = to_statement(b_ <<= a_ * 2.0);
+  // Per-index evaluator.
+  st.eval_at(Idx<2>{{1, 1}});
+  EXPECT_DOUBLE_EQ(b_(1, 1), 22.0);
+  // Pencil evaluator along dim 1.
+  st.eval_pencil(Idx<2>{{2, 0}}, /*inner=*/1, /*step=*/+1, /*count=*/5);
+  for (Coord j = 0; j <= 4; ++j) EXPECT_DOUBLE_EQ(b_(2, j), (20 + j) * 2.0);
+  // RHS-only pencil leaves the LHS alone.
+  Real buf[5];
+  b_.fill(0.0);
+  st.rhs_pencil(Idx<2>{{3, 4}}, /*inner=*/1, /*step=*/-1, 5, buf);
+  for (int k = 0; k < 5; ++k) EXPECT_DOUBLE_EQ(buf[k], (34 - k) * 2.0);
+  EXPECT_DOUBLE_EQ(b_(3, 4), 0.0);
+}
+
+TEST_F(ExprTest, WholeArrayCopyStatement) {
+  const auto st = to_statement(b_ <<= a_);
+  st.eval_at(Idx<2>{{4, 4}});
+  EXPECT_DOUBLE_EQ(b_(4, 4), 44.0);
+}
+
+TEST_F(ExprTest, DuplicatedSubexpressionEvaluatesTwice) {
+  // (a@e - a)*(a@e - a): both occurrences are recorded.
+  const auto e = (at(a_, kEast) - a_) * (at(a_, kEast) - a_);
+  EXPECT_DOUBLE_EQ(e.eval(Idx<2>{{2, 2}}), 1.0);
+  std::vector<Access<2>> reads;
+  e.collect(reads);
+  EXPECT_EQ(reads.size(), 4u);
+}
+
+TEST_F(ExprTest, SelectExpression) {
+  // select_e(cond, a, b): cond > 0 -> a, else b.
+  DenseArray<Real, 2> mask("mask", Region<2>({{0, 0}}, {{4, 4}}));
+  mask.fill_fn([](const Idx<2>& i) { return i.v[0] % 2 == 0 ? 1.0 : -1.0; });
+  const auto e = select_e(mask, a_, -1.0 * a_);
+  EXPECT_DOUBLE_EQ(e.eval(Idx<2>{{2, 3}}), 23.0);   // mask > 0
+  EXPECT_DOUBLE_EQ(e.eval(Idx<2>{{1, 3}}), -13.0);  // mask < 0
+  // Scalar condition and nesting also work.
+  EXPECT_DOUBLE_EQ(select_e(1.0, a_, b_).eval(Idx<2>{{1, 1}}), 11.0);
+  EXPECT_DOUBLE_EQ(select_e(-1.0 + b_ * 0.0, a_, b_).eval(Idx<2>{{1, 1}}), 2.0);
+  // All three operands' accesses are collected.
+  std::vector<Access<2>> reads;
+  select_e(mask, at(a_, kNorth), prime(b_, kWest)).collect(reads);
+  ASSERT_EQ(reads.size(), 3u);
+  EXPECT_FALSE(reads[0].primed);
+  EXPECT_EQ(reads[1].dir, kNorth);
+  EXPECT_TRUE(reads[2].primed);
+}
+
+TEST_F(ExprTest, SelectInsideScanBlock) {
+  // A clamped wavefront: propagate the running value but clamp at 8.
+  DenseArray<Real, 2> u("u", Region<2>({{0, 0}}, {{5, 5}}));
+  u.fill(1.0);
+  auto plan = scan(Region<2>({{1, 0}}, {{5, 5}}),
+                   u <<= select_e(prime(u, kNorth) - 4.0, 8.0,
+                                  2.0 * prime(u, kNorth)))
+                  .compile();
+  run_serial(plan);
+  // Rows: 1, 2, 4, 8, then clamped at 8 (cond = 8-4 > 0).
+  EXPECT_DOUBLE_EQ(u(1, 2), 2.0);
+  EXPECT_DOUBLE_EQ(u(2, 2), 4.0);
+  EXPECT_DOUBLE_EQ(u(3, 2), 8.0);
+  EXPECT_DOUBLE_EQ(u(4, 2), 8.0);
+  EXPECT_DOUBLE_EQ(u(5, 2), 8.0);
+}
+
+TEST(ExprRank3, ShiftAndEval) {
+  DenseArray<Real, 3> c("c", Region<3>({{0, 0, 0}}, {{2, 2, 2}}));
+  c.fill_fn([](const Idx<3>& i) {
+    return static_cast<Real>(i.v[0] * 100 + i.v[1] * 10 + i.v[2]);
+  });
+  const Direction<3> up{{0, 0, -1}};
+  EXPECT_DOUBLE_EQ(at(c, up).eval(Idx<3>{{1, 1, 1}}), 110.0);
+  EXPECT_DOUBLE_EQ((c + at(c, up)).eval(Idx<3>{{1, 1, 1}}), 221.0);
+}
+
+}  // namespace
+}  // namespace wavepipe

@@ -1,0 +1,122 @@
+// Unit tests: ghost (fluff) exchange, including corner propagation for
+// diagonal stencils and multi-width halos.
+#include <gtest/gtest.h>
+
+#include "array/io.hh"
+#include "comm/machine.hh"
+
+namespace wavepipe {
+namespace {
+
+double stamp(const Idx<2>& i) {
+  return static_cast<double>(i.v[0] * 1000 + i.v[1]);
+}
+
+TEST(Ghost, OneDimExchangeFillsBothSides) {
+  Machine::run(4, {}, [](Communicator& comm) {
+    const Layout<2> layout(Region<2>({{1, 1}}, {{16, 5}}),
+                           ProcGrid<2>({4, 1}), Idx<2>{{2, 0}});
+    DistArray<double, 2> a("a", layout, comm.rank());
+    a.local().fill(-1.0);
+    a.fill_owned(stamp);
+    exchange_ghosts(a, comm, Idx<2>{{2, 0}});
+
+    const Region<2> owned = a.owned();
+    const Region<2> global = layout.global();
+    // Interior fluff rows now hold the neighbours' stamps.
+    for (Coord roff = 1; roff <= 2; ++roff) {
+      for (Coord j = 1; j <= 5; ++j) {
+        const Idx<2> below{{owned.hi(0) + roff, j}};
+        if (global.contains(below)) {
+          EXPECT_DOUBLE_EQ(a(below), stamp(below));
+        }
+        const Idx<2> above{{owned.lo(0) - roff, j}};
+        if (global.contains(above)) {
+          EXPECT_DOUBLE_EQ(a(above), stamp(above));
+        }
+      }
+    }
+  });
+}
+
+TEST(Ghost, TwoDimExchangeFillsCorners) {
+  Machine::run(4, {}, [](Communicator& comm) {
+    const Layout<2> layout(Region<2>({{1, 1}}, {{8, 8}}),
+                           ProcGrid<2>({2, 2}), Idx<2>{{1, 1}});
+    DistArray<double, 2> a("a", layout, comm.rank());
+    a.local().fill(-1.0);
+    a.fill_owned(stamp);
+    exchange_ghosts(a, comm, Idx<2>{{1, 1}});
+
+    // Every allocated cell inside the global region — including diagonal
+    // corners — must now hold its owner's stamp.
+    const Region<2> global = layout.global();
+    for_each(a.local().region(), [&](const Idx<2>& i) {
+      if (global.contains(i)) {
+        EXPECT_DOUBLE_EQ(a(i), stamp(i));
+      }
+    });
+  });
+}
+
+TEST(Ghost, ZeroWidthIsNoOp) {
+  Machine::run(2, {}, [](Communicator& comm) {
+    const Layout<2> layout(Region<2>({{1, 1}}, {{8, 4}}),
+                           ProcGrid<2>({2, 1}), Idx<2>{{1, 0}});
+    DistArray<double, 2> a("a", layout, comm.rank());
+    a.local().fill(-7.0);
+    a.fill_owned(stamp);
+    auto res_before = a.local().raw();
+    exchange_ghosts(a, comm, Idx<2>{{0, 0}});
+    EXPECT_EQ(a.local().raw(), res_before);
+  });
+}
+
+TEST(Ghost, UndistributedDimNeedsNoComm) {
+  auto res = Machine::run(2, {}, [](Communicator& comm) {
+    const Layout<2> layout(Region<2>({{1, 1}}, {{8, 8}}),
+                           ProcGrid<2>({2, 1}), Idx<2>{{1, 1}});
+    DistArray<double, 2> a("a", layout, comm.rank());
+    a.fill_owned(stamp);
+    exchange_ghosts(a, comm, Idx<2>{{1, 1}});
+  });
+  // Only the distributed dimension exchanges: 2 messages total (one each
+  // direction across the single internal boundary).
+  EXPECT_EQ(res.total.messages_sent, 2u);
+}
+
+TEST(Ghost, WidthBeyondFluffRejected) {
+  EXPECT_THROW(
+      Machine::run(2, {},
+                   [](Communicator& comm) {
+                     const Layout<2> layout(Region<2>({{1, 1}}, {{8, 4}}),
+                                            ProcGrid<2>({2, 1}),
+                                            Idx<2>{{1, 0}});
+                     DistArray<double, 2> a("a", layout, comm.rank());
+                     exchange_ghosts(a, comm, Idx<2>{{2, 0}});
+                   }),
+      ContractError);
+}
+
+TEST(Ghost, Rank3Exchange) {
+  Machine::run(8, {}, [](Communicator& comm) {
+    const Layout<3> layout(Region<3>({{1, 1, 1}}, {{8, 8, 8}}),
+                           ProcGrid<3>({2, 2, 2}), Idx<3>{{1, 1, 1}});
+    DistArray<double, 3> a("a", layout, comm.rank());
+    a.local().fill(-1.0);
+    a.fill_owned([](const Idx<3>& i) {
+      return static_cast<double>(i.v[0] * 10000 + i.v[1] * 100 + i.v[2]);
+    });
+    exchange_ghosts(a, comm, Idx<3>{{1, 1, 1}});
+    const Region<3> global = layout.global();
+    for_each(a.local().region(), [&](const Idx<3>& i) {
+      if (global.contains(i)) {
+        EXPECT_DOUBLE_EQ(
+            a(i), static_cast<double>(i.v[0] * 10000 + i.v[1] * 100 + i.v[2]));
+      }
+    });
+  });
+}
+
+}  // namespace
+}  // namespace wavepipe

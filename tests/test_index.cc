@@ -1,0 +1,54 @@
+// Unit tests: Idx and Direction value types.
+#include <gtest/gtest.h>
+
+#include "index/index.hh"
+
+namespace wavepipe {
+namespace {
+
+TEST(Idx, DefaultIsZero) {
+  Idx<3> i{};
+  EXPECT_EQ(i[0], 0);
+  EXPECT_EQ(i[1], 0);
+  EXPECT_EQ(i[2], 0);
+}
+
+TEST(Idx, ShiftByDirection) {
+  const Idx<2> i{{3, 4}};
+  EXPECT_EQ((i + kNorth), (Idx<2>{{2, 4}}));
+  EXPECT_EQ((i + kSouth), (Idx<2>{{4, 4}}));
+  EXPECT_EQ((i + kWest), (Idx<2>{{3, 3}}));
+  EXPECT_EQ((i + kEast), (Idx<2>{{3, 5}}));
+  EXPECT_EQ((i - kNorth), (Idx<2>{{4, 4}}));
+}
+
+TEST(Direction, CardinalConstantsMatchPaper) {
+  // The paper defines north=(-1,0), south=(1,0), west=(0,-1), east=(0,1).
+  EXPECT_EQ(kNorth[0], -1);
+  EXPECT_EQ(kNorth[1], 0);
+  EXPECT_EQ(kSouth[0], 1);
+  EXPECT_EQ(kWest[1], -1);
+  EXPECT_EQ(kEast[1], 1);
+  EXPECT_EQ(kNorthWest, (Direction<2>{{-1, -1}}));
+  EXPECT_EQ(kSouthEast, (Direction<2>{{1, 1}}));
+}
+
+TEST(Direction, NegationAndZero) {
+  EXPECT_EQ(-kNorth, kSouth);
+  EXPECT_EQ(-kNorthWest, kSouthEast);
+  EXPECT_TRUE((Direction<2>{}).is_zero());
+  EXPECT_FALSE(kEast.is_zero());
+}
+
+TEST(Direction, OrderingForContainers) {
+  EXPECT_LT(kNorth, kSouth);  // (-1,0) < (1,0)
+  EXPECT_LT(kNorthWest, kNorth);
+}
+
+TEST(Index, ToStringFormats) {
+  EXPECT_EQ(to_string(Idx<2>{{1, -2}}), "(1,-2)");
+  EXPECT_EQ(to_string(kNorth), "(-1,0)");
+}
+
+}  // namespace
+}  // namespace wavepipe

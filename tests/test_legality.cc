@@ -1,0 +1,187 @@
+// Unit tests: the paper's static legality conditions (§2.2) and the four
+// worked examples, exercised through ScanBlock::compile and check_wavefront.
+#include <gtest/gtest.h>
+
+#include "exec/serial.hh"
+
+namespace wavepipe {
+namespace {
+
+class Legality : public ::testing::Test {
+ protected:
+  static constexpr Coord n = 8;
+  Legality()
+      : a_("a", Region<2>({{1, 1}}, {{n, n}})),
+        b_("b", Region<2>({{1, 1}}, {{n, n}})),
+        region_({{2, 2}}, {{n - 1, n - 1}}) {
+    a_.fill(1.0);
+    b_.fill(1.0);
+  }
+  DenseArray<Real, 2> a_, b_;
+  Region<2> region_;
+};
+
+TEST_F(Legality, ConditionI_PrimedArrayMustBeDefinedInBlock) {
+  // b' appears but b is never assigned in the block.
+  ScanBlock<2> sb(region_);
+  sb.add(a_ <<= prime(b_, kNorth) * 2.0);
+  try {
+    sb.compile();
+    FAIL() << "expected LegalityError";
+  } catch (const LegalityError& e) {
+    EXPECT_NE(std::string(e.what()).find("not defined in the scan block"),
+              std::string::npos);
+  }
+}
+
+TEST_F(Legality, ConditionI_SatisfiedWhenDefinedByAnyStatement) {
+  ScanBlock<2> sb(region_);
+  sb.add(a_ <<= prime(b_, kNorth) * 2.0);
+  sb.add(b_ <<= a_ + 1.0);
+  EXPECT_NO_THROW(sb.compile());
+}
+
+TEST_F(Legality, PrimedZeroDirectionRejected) {
+  ScanBlock<2> sb(region_);
+  sb.add(a_ <<= prime(a_) + 1.0);
+  EXPECT_THROW(sb.compile(), LegalityError);
+}
+
+TEST_F(Legality, EmptyBlockRejected) {
+  ScanBlock<2> sb(region_);
+  EXPECT_THROW(sb.compile(), ContractError);
+}
+
+TEST_F(Legality, EmptyRegionRejected) {
+  EXPECT_THROW(ScanBlock<2>(Region<2>()), ContractError);
+}
+
+TEST_F(Legality, Example1_SameDirectionTwice) {
+  // d1 = d2 = (-1,0): WSV (-,0), simple, legal; dim 0 is the wavefront,
+  // dim 1 completely parallel.
+  auto plan = scan(region_,
+                   a_ <<= (prime(a_, kNorth) + prime(a_, kNorth)) / 2.0)
+                  .compile();
+  EXPECT_EQ(to_string(plan.wsv), "(-,0)");
+  EXPECT_EQ(plan.wdim(), 0u);
+  EXPECT_EQ(plan.role(1), DimRole::kParallel);
+}
+
+TEST_F(Legality, Example2_OrthogonalCardinals) {
+  // d1 = (-1,0), d2 = (0,-1): WSV (-,-), legal; with the leftmost rule the
+  // wavefront is dim 0 and dim 1 is serialized (no ± entries).
+  auto plan = scan(region_,
+                   a_ <<= (prime(a_, kNorth) + prime(a_, kWest)) / 2.0)
+                  .compile();
+  EXPECT_EQ(to_string(plan.wsv), "(-,-)");
+  EXPECT_EQ(plan.wdim(), 0u);
+  EXPECT_EQ(plan.role(1), DimRole::kPipeline);
+
+  // The paper's Example 2 chooses the second dimension instead.
+  auto plan2 = scan_with_choice(region_, WavefrontChoice::kRightmost,
+                                b_ <<= (prime(b_, kNorth) + prime(b_, kWest)) /
+                                           2.0)
+                   .compile();
+  EXPECT_EQ(plan2.wdim(), 1u);
+}
+
+TEST_F(Legality, Example3_NonSimpleButLegal) {
+  // d1 = (-1,0), d2 = (1,1): WSV (±,+), not simple, yet legal — a loop
+  // nest exists; dim 1 is the wavefront.
+  const Direction<2> d2{{1, 1}};
+  auto plan = scan(region_,
+                   a_ <<= (prime(a_, kNorth) + prime(a_, d2)) / 2.0)
+                  .compile();
+  EXPECT_FALSE(is_simple(plan.wsv));
+  EXPECT_EQ(to_string(plan.wsv), "(±,+)");
+  ASSERT_TRUE(plan.has_wavefront());
+  EXPECT_EQ(plan.wdim(), 1u);
+  EXPECT_EQ(plan.travel(), -1);
+  EXPECT_EQ(plan.role(0), DimRole::kSerial);
+  // And it really runs.
+  EXPECT_NO_THROW(run_serial(plan));
+}
+
+TEST_F(Legality, Example4_OverConstrained) {
+  // d1 = (0,-1), d2 = (0,1): WSV (0,±) — "the compiler will flag it".
+  ScanBlock<2> sb(region_);
+  sb.add(a_ <<= (prime(a_, kWest) + prime(a_, kEast)) / 2.0);
+  try {
+    sb.compile();
+    FAIL() << "expected LegalityError";
+  } catch (const LegalityError& e) {
+    EXPECT_NE(std::string(e.what()).find("over-constrained"),
+              std::string::npos);
+  }
+}
+
+TEST_F(Legality, OpposedPrimedDirectionsOnOneDimension) {
+  // north and south primed: "contradictory" per the paper.
+  ScanBlock<2> sb(region_);
+  sb.add(a_ <<= prime(a_, kNorth) + prime(a_, kSouth));
+  EXPECT_THROW(sb.compile(), LegalityError);
+}
+
+TEST_F(Legality, UdvCatchesWsvInvisibleContradiction) {
+  // Dirs (-1,0), (0,-1), (0,1): WSV is (-,±)... dim0 still a candidate,
+  // but no loop nest satisfies the dependences (0,1) and (0,-1) carried in
+  // dim 1 alone — the UDV search must reject what the WSV rules miss.
+  ScanBlock<2> sb(region_);
+  sb.add(a_ <<= prime(a_, kNorth) + prime(a_, kWest) + prime(a_, kEast));
+  EXPECT_THROW(sb.compile(), LegalityError);
+}
+
+TEST_F(Legality, CheckWavefrontHelperMatchesExamples) {
+  // Example 1.
+  auto c1 = check_wavefront<2>({kNorth, kNorth});
+  EXPECT_TRUE(c1.legal);
+  EXPECT_EQ(*c1.analysis.wavefront_dim, 0u);
+  // Example 2.
+  auto c2 = check_wavefront<2>({kNorth, kWest});
+  EXPECT_TRUE(c2.legal);
+  // Example 3.
+  auto c3 = check_wavefront<2>({kNorth, Direction<2>{{1, 1}}});
+  EXPECT_TRUE(c3.legal);
+  EXPECT_EQ(*c3.analysis.wavefront_dim, 1u);
+  // Example 4.
+  auto c4 = check_wavefront<2>({kWest, kEast});
+  EXPECT_FALSE(c4.legal);
+  EXPECT_FALSE(c4.reason.empty());
+}
+
+TEST_F(Legality, NonCardinalDiagonalIsLegal) {
+  auto c = check_wavefront<2>({kNorthWest});
+  EXPECT_TRUE(c.legal);
+  EXPECT_EQ(to_string(c.wsv), "(-,-)");
+}
+
+TEST_F(Legality, PlanDescribeIsInformative) {
+  auto plan = scan(region_, a_ <<= prime(a_, kNorth) * 0.5).compile();
+  const std::string s = plan.describe();
+  EXPECT_NE(s.find("WSV (-,0)"), std::string::npos);
+  EXPECT_NE(s.find("wavefront dim 0"), std::string::npos);
+  EXPECT_NE(s.find("a[w,primed]"), std::string::npos);
+}
+
+TEST_F(Legality, HaloAndInflowSizing) {
+  const Direction<2> far_north{{-2, 0}};
+  auto plan = scan(region_,
+                   a_ <<= prime(a_, far_north) + prime(a_, kNorthWest) + b_)
+                  .compile();
+  EXPECT_EQ(plan.inflow_depth, 2);   // max |d_w| over primed dirs
+  EXPECT_EQ(plan.lateral_halo, 1);   // the diagonal's off-dimension reach
+  const ArrayUse<2>* use = plan.find_use(a_.id());
+  ASSERT_NE(use, nullptr);
+  EXPECT_EQ(use->halo.v[0], 2);
+  EXPECT_EQ(use->halo.v[1], 1);
+  EXPECT_EQ(use->wave_depth, 2);
+  EXPECT_TRUE(use->written);
+  EXPECT_TRUE(use->primed_read);
+  const ArrayUse<2>* ub = plan.find_use(b_.id());
+  ASSERT_NE(ub, nullptr);
+  EXPECT_FALSE(ub->written);
+  EXPECT_EQ(ub->wave_depth, 0);
+}
+
+}  // namespace
+}  // namespace wavepipe

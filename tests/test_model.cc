@@ -1,0 +1,166 @@
+// Unit tests: the §4 analytical model — formulas, closed-form optima versus
+// numeric ground truth, Model1/Model2 relationships, and the machine
+// calibrations (Fig 5a: b=39 vs b=23; Fig 5b: b=20 vs b=3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/machines.hh"
+#include "model/model.hh"
+#include "model/optimize.hh"
+
+namespace wavepipe {
+namespace {
+
+TEST(Model, FormulasMatchPaperExpressions) {
+  const PipelineModel m(10.0, 2.0);
+  const Coord n = 100;
+  const int p = 4;
+  const Coord b = 5;
+  // T_comp = (n b / p)(p-1) + n^2/p
+  EXPECT_DOUBLE_EQ(m.comp_time(n, p, b), (100.0 * 5 / 4) * 3 + 10000.0 / 4);
+  // T_comm = (alpha + beta b)(n/b + p - 2)
+  EXPECT_DOUBLE_EQ(m.comm_time(n, p, b), (10.0 + 2.0 * 5) * (20.0 + 2.0));
+  EXPECT_DOUBLE_EQ(m.total_time(n, p, b),
+                   m.comp_time(n, p, b) + m.comm_time(n, p, b));
+}
+
+TEST(Model, SingleProcessorHasNoCommunication) {
+  const PipelineModel m(10.0, 2.0);
+  EXPECT_DOUBLE_EQ(m.comm_time(100, 1, 5), 0.0);
+  EXPECT_DOUBLE_EQ(m.naive_time(100, 1), 10000.0);
+  EXPECT_DOUBLE_EQ(m.serial_time(100), 10000.0);
+}
+
+TEST(Model, ClosedFormOptimumMatchesNumericArgmin) {
+  for (double alpha : {50.0, 400.0, 1500.0}) {
+    for (double beta : {0.0, 5.0, 140.0}) {
+      for (Coord n : {Coord{128}, Coord{512}}) {
+        for (int p : {4, 8, 16}) {
+          const PipelineModel m(alpha, beta);
+          const Coord searched = m.optimal_block_search(n, p);
+          const double closed = m.optimal_block_exact(n, p);
+          // The integer argmin and the continuous optimum agree to ~1 unit
+          // (the discrete function is flat near the optimum).
+          EXPECT_NEAR(static_cast<double>(searched), closed,
+                      std::max(2.0, 0.12 * closed))
+              << "alpha=" << alpha << " beta=" << beta << " n=" << n
+              << " p=" << p;
+        }
+      }
+    }
+  }
+}
+
+TEST(Model, PaperFormIsCloseToExactForLargeP) {
+  const PipelineModel m(1000.0, 50.0);
+  for (int p : {8, 16, 32}) {
+    const double exact = m.optimal_block_exact(512, p);
+    const double paper = m.optimal_block_paper(512, p);
+    EXPECT_NEAR(paper, exact, 0.15 * exact) << "p=" << p;
+  }
+}
+
+TEST(Model, ApproxDropsPDependenceGracefully) {
+  const PipelineModel m(1000.0, 50.0);
+  const double paper = m.optimal_block_paper(512, 16);
+  const double approx = m.optimal_block_approx(512, 16);
+  EXPECT_NEAR(approx, paper, 0.2 * paper);
+}
+
+TEST(Model, Model1ReducesToSqrtAlpha) {
+  // "Equation (1) reduces to the constant communication cost equation of
+  // Hiranandani et al. when we let beta = 0 (i.e., b = sqrt(alpha))."
+  const PipelineModel m1 = model1(1521.0);  // sqrt = 39
+  EXPECT_NEAR(m1.optimal_block_approx(512, 8), 39.0, 39.0 * 0.05);
+  // The p-exact form only differs by sqrt(p/(p-1)).
+  EXPECT_NEAR(m1.optimal_block_exact(512, 8), 39.0 * std::sqrt(8.0 / 7.0),
+              1e-9);
+}
+
+TEST(Model, OptimalBlockGrowsWithAlphaShrinksWithBetaAndP) {
+  // The paper's qualitative reading of Eq (1).
+  const Coord n = 512;
+  const int p = 8;
+  EXPECT_GT(PipelineModel(2000, 50).optimal_block_exact(n, p),
+            PipelineModel(500, 50).optimal_block_exact(n, p));
+  EXPECT_LT(PipelineModel(1000, 200).optimal_block_exact(n, p),
+            PipelineModel(1000, 20).optimal_block_exact(n, p));
+  EXPECT_LT(PipelineModel(1000, 50).optimal_block_exact(n, 32),
+            PipelineModel(1000, 50).optimal_block_exact(n, 4));
+}
+
+TEST(Model, SpeedupBaselines) {
+  const PipelineModel m(100.0, 1.0);
+  const Coord n = 256;
+  const int p = 8;
+  const Coord b = m.optimal_block_search(n, p);
+  // Pipelining at the optimum must beat naive, and approach p on the
+  // wavefront fragment.
+  EXPECT_GT(m.speedup_vs_naive(n, p, b), 1.0);
+  EXPECT_GT(m.speedup_vs_serial(n, p, b), 0.5 * p);
+  EXPECT_LE(m.speedup_vs_serial(n, p, b), static_cast<double>(p));
+}
+
+TEST(Machines, T3eCalibrationHitsPaperOptima) {
+  const MachinePreset t3e = t3e_like();
+  // Model1 must pick ~39, Model2 ~23 at the calibration point (Fig 5a).
+  const Coord b1 = model1_of(t3e).optimal_block_search(t3e.n, t3e.p);
+  const Coord b2 = model2_of(t3e).optimal_block_search(t3e.n, t3e.p);
+  EXPECT_NEAR(static_cast<double>(b1), 39.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(b2), 23.0, 2.0);
+  // Model2's pick must be at least as good under the full model —
+  // "Model2 predicts b = 23, which is in fact better."
+  const PipelineModel full = model2_of(t3e);
+  EXPECT_LE(full.total_time(t3e.n, t3e.p, b2),
+            full.total_time(t3e.n, t3e.p, b1));
+}
+
+TEST(Machines, Fig5bCalibrationHitsPaperOptima) {
+  const MachinePreset hyp = fig5b_hypothetical();
+  const Coord b1 = model1_of(hyp).optimal_block_search(hyp.n, hyp.p);
+  const Coord b2 = model2_of(hyp).optimal_block_search(hyp.n, hyp.p);
+  EXPECT_NEAR(static_cast<double>(b1), 20.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(b2), 3.0, 1.0);
+  // The worst case: Model1's choice is substantially slower.
+  const PipelineModel full = model2_of(hyp);
+  EXPECT_GT(full.total_time(hyp.n, hyp.p, b1),
+            1.5 * full.total_time(hyp.n, hyp.p, b2));
+}
+
+TEST(Machines, PresetsAreSane) {
+  for (const auto& m :
+       {t3e_like(), power_challenge_like(), fig5b_hypothetical()}) {
+    EXPECT_GT(m.costs.alpha, 0.0);
+    EXPECT_GT(m.costs.beta, 0.0);
+    EXPECT_EQ(m.costs.compute_per_element, 1.0);
+    EXPECT_FALSE(m.costs.is_free());
+  }
+}
+
+TEST(Optimize, ArgminIntFindsMinimum) {
+  EXPECT_EQ(argmin_int(1, 100, [](Coord x) {
+              return static_cast<double>((x - 37) * (x - 37));
+            }),
+            37);
+  EXPECT_EQ(argmin_int(5, 5, [](Coord) { return 1.0; }), 5);
+}
+
+TEST(Optimize, GoldenSectionOnConvexFunction) {
+  const double x =
+      argmin_golden(0.0, 10.0, [](double v) { return (v - 3.3) * (v - 3.3); });
+  EXPECT_NEAR(x, 3.3, 1e-4);
+}
+
+TEST(Optimize, GeometricCandidatesCoverRange) {
+  const auto c = geometric_candidates(64);
+  EXPECT_EQ(c.front(), 1);
+  EXPECT_EQ(c.back(), 64);
+  for (std::size_t i = 1; i < c.size(); ++i) EXPECT_GT(c[i], c[i - 1]);
+  const auto single = geometric_candidates(1);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0], 1);
+}
+
+}  // namespace
+}  // namespace wavepipe

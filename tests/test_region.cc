@@ -1,0 +1,172 @@
+// Unit tests: ZPL regions (geometry and iteration).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "index/region.hh"
+#include "support/rng.hh"
+
+namespace wavepipe {
+namespace {
+
+TEST(Region, ExtentSizeContains) {
+  const Region<2> r({{2, 2}}, {{5, 8}});
+  EXPECT_EQ(r.extent(0), 4);
+  EXPECT_EQ(r.extent(1), 7);
+  EXPECT_EQ(r.size(), 28);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE(r.contains(Idx<2>{{2, 2}}));
+  EXPECT_TRUE(r.contains(Idx<2>{{5, 8}}));
+  EXPECT_FALSE(r.contains(Idx<2>{{1, 2}}));
+  EXPECT_FALSE(r.contains(Idx<2>{{2, 9}}));
+}
+
+TEST(Region, EmptyRegions) {
+  const Region<2> e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.size(), 0);
+  const Region<2> r({{3, 1}}, {{2, 5}});  // hi < lo in dim 0
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.size(), 0);
+}
+
+TEST(Region, FromExtents) {
+  const auto r = Region<3>::from_extents(Idx<3>{{2, 3, 4}});
+  EXPECT_EQ(r.lo(0), 0);
+  EXPECT_EQ(r.hi(2), 3);
+  EXPECT_EQ(r.size(), 24);
+}
+
+TEST(Region, ShiftedMatchesAtOperatorSemantics) {
+  // [2..n, 1..n]@north reads [1..n-1, 1..n].
+  const Region<2> r({{2, 1}}, {{5, 5}});
+  const Region<2> s = r.shifted(kNorth);
+  EXPECT_EQ(s.lo(0), 1);
+  EXPECT_EQ(s.hi(0), 4);
+  EXPECT_EQ(s.lo(1), 1);
+  EXPECT_EQ(s.hi(1), 5);
+}
+
+TEST(Region, IntersectAndContainsRegion) {
+  const Region<2> a({{0, 0}}, {{5, 5}});
+  const Region<2> b({{3, 4}}, {{9, 9}});
+  const Region<2> c = a.intersect(b);
+  EXPECT_EQ(c, (Region<2>({{3, 4}}, {{5, 5}})));
+  EXPECT_TRUE(a.contains(c));
+  EXPECT_TRUE(b.contains(c));
+  const Region<2> d({{7, 0}}, {{9, 5}});
+  EXPECT_TRUE(a.intersect(d).empty());
+  EXPECT_TRUE(a.contains(Region<2>()));  // empty is contained everywhere
+}
+
+TEST(Region, ExpandedAddsFluff) {
+  const Region<2> r({{2, 2}}, {{5, 5}});
+  const Region<2> e = r.expanded(Idx<2>{{1, 2}});
+  EXPECT_EQ(e, (Region<2>({{1, 0}}, {{6, 7}})));
+}
+
+TEST(Region, Faces) {
+  const Region<2> r({{2, 2}}, {{9, 9}});
+  EXPECT_EQ(r.low_face(0, 2), (Region<2>({{2, 2}}, {{3, 9}})));
+  EXPECT_EQ(r.high_face(0, 1), (Region<2>({{9, 2}}, {{9, 9}})));
+  EXPECT_EQ(r.low_face(1, 3), (Region<2>({{2, 2}}, {{9, 4}})));
+}
+
+TEST(Region, WithDim) {
+  const Region<2> r({{2, 2}}, {{9, 9}});
+  EXPECT_EQ(r.with_dim(1, 4, 6), (Region<2>({{2, 4}}, {{9, 6}})));
+}
+
+TEST(Region, ForEachVisitsCanonicalOrder) {
+  const Region<2> r({{1, 1}}, {{2, 3}});
+  std::vector<Idx<2>> seen;
+  for_each(r, [&](const Idx<2>& i) { seen.push_back(i); });
+  ASSERT_EQ(seen.size(), 6u);
+  EXPECT_EQ(seen.front(), (Idx<2>{{1, 1}}));
+  EXPECT_EQ(seen[1], (Idx<2>{{1, 2}}));  // dim 1 fastest
+  EXPECT_EQ(seen[2], (Idx<2>{{1, 3}}));
+  EXPECT_EQ(seen[3], (Idx<2>{{2, 1}}));
+  EXPECT_EQ(seen.back(), (Idx<2>{{2, 3}}));
+}
+
+TEST(Region, ForEachEmptyVisitsNothing) {
+  int count = 0;
+  for_each(Region<2>(), [&](const Idx<2>&) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(Region, ForEachRank1And3) {
+  int count = 0;
+  for_each(Region<1>({{5}}, {{9}}), [&](const Idx<1>&) { ++count; });
+  EXPECT_EQ(count, 5);
+  count = 0;
+  for_each(Region<3>({{0, 0, 0}}, {{1, 2, 3}}), [&](const Idx<3>&) { ++count; });
+  EXPECT_EQ(count, 2 * 3 * 4);
+}
+
+TEST(Region, ToStringZplStyle) {
+  EXPECT_EQ(to_string(Region<2>({{2, 1}}, {{8, 9}})), "[2..8, 1..9]");
+}
+
+// Randomized algebraic properties over many region pairs.
+TEST(RegionProperty, AlgebraHoldsOnRandomRegions) {
+  SplitMix64 rng(7771);
+  auto random_region = [&rng] {
+    Idx<2> lo{}, hi{};
+    for (Rank d = 0; d < 2; ++d) {
+      lo.v[d] = rng.uniform_int(-6, 6);
+      hi.v[d] = lo.v[d] + rng.uniform_int(-2, 8);  // sometimes empty
+    }
+    return Region<2>(lo, hi);
+  };
+  auto random_dir = [&rng] {
+    return Direction<2>{{rng.uniform_int(-3, 3), rng.uniform_int(-3, 3)}};
+  };
+
+  for (int trial = 0; trial < 300; ++trial) {
+    const Region<2> a = random_region();
+    const Region<2> b = random_region();
+    const Direction<2> d = random_dir();
+
+    // Intersection is commutative and contained in both.
+    const Region<2> ab = a.intersect(b);
+    const Region<2> ba = b.intersect(a);
+    EXPECT_EQ(ab.size(), ba.size());
+    EXPECT_TRUE(a.contains(ab));
+    EXPECT_TRUE(b.contains(ab));
+
+    // Shift preserves size and is inverted by the opposite shift.
+    EXPECT_EQ(a.shifted(d).size(), a.size());
+    EXPECT_EQ(a.shifted(d).shifted(-d), a);
+
+    // contains() agrees with element-wise membership of the intersection.
+    for_each(ab, [&](const Idx<2>& i) {
+      EXPECT_TRUE(a.contains(i));
+      EXPECT_TRUE(b.contains(i));
+    });
+
+    // Expansion by nonnegative widths contains the original (when
+    // non-empty) and adds the right amount.
+    const Idx<2> w{{rng.uniform_int(0, 2), rng.uniform_int(0, 2)}};
+    const Region<2> e = a.expanded(w);
+    if (!a.empty()) {
+      EXPECT_TRUE(e.contains(a));
+      EXPECT_EQ(e.extent(0), a.extent(0) + 2 * w.v[0]);
+      EXPECT_EQ(e.extent(1), a.extent(1) + 2 * w.v[1]);
+    }
+
+    // Faces partition: low_face + rest covers the region.
+    if (!a.empty()) {
+      const Coord fw = 1 + static_cast<Coord>(rng.uniform_int(0, 1));
+      if (a.extent(0) >= fw) {
+        const Region<2> low = a.low_face(0, fw);
+        const Region<2> high = a.high_face(0, a.extent(0) - fw);
+        EXPECT_EQ(low.size() + high.size(), a.size());
+        EXPECT_TRUE(low.intersect(high).empty());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wavepipe

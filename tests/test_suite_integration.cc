@@ -1,0 +1,92 @@
+// Integration tests: the wavefront benchmark suite registry — every app
+// runs end-to-end under both schedules on a costed virtual machine, with
+// identical results, and pipelining never loses to naive by much.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/suite.hh"
+#include "exec/block_select.hh"
+#include "model/machines.hh"
+
+namespace wavepipe {
+namespace {
+
+TEST(Suite, HasTheFiveApps) {
+  const auto suite = wavefront_suite();
+  ASSERT_EQ(suite.size(), 5u);
+  EXPECT_EQ(suite[0].name, "tomcatv");
+  EXPECT_EQ(suite[1].name, "simple");
+  EXPECT_EQ(suite[2].name, "sweep3d");
+  EXPECT_EQ(suite[3].name, "smith-waterman");
+  EXPECT_EQ(suite[4].name, "sor");
+  for (const auto& app : suite) {
+    EXPECT_FALSE(app.wavefront_note.empty());
+    EXPECT_GE(app.default_n, 16);
+    EXPECT_TRUE(static_cast<bool>(app.run));
+  }
+}
+
+TEST(Suite, NaiveAndPipelinedProduceSameValues) {
+  const auto suite = wavefront_suite();
+  for (const auto& app : suite) {
+    const Coord n = app.name == "sweep3d" ? 8 : 20;
+    app.run(2, {}, n, 1, /*block=*/0);
+    const double naive_value = *app.last_value;
+    app.run(2, {}, n, 1, /*block=*/3);
+    const double pipe_value = *app.last_value;
+    EXPECT_NEAR(pipe_value, naive_value,
+                1e-9 * (std::abs(naive_value) + 1.0))
+        << app.name;
+  }
+}
+
+TEST(Suite, PipeliningImprovesVirtualMakespan) {
+  // Under T3E-like costs, p = 4, a sensible block size must beat naive for
+  // every suite app (grey-bar direction of Fig 7).
+  const CostModel costs = t3e_like().costs;
+  const auto suite = wavefront_suite();
+  for (const auto& app : suite) {
+    // SWEEP3D's tile faces carry a whole plane slab per column, so its
+    // useful block sizes are smaller (and its problem must be big enough
+    // for pipelining to amortize the per-message startup at all); the 2-D
+    // apps use the Eq (1) optimum.
+    const Coord n = app.name == "sweep3d" ? 24 : 64;
+    const Coord block =
+        app.name == "sweep3d" ? 6 : select_block_static(costs, n - 2, 4);
+    const auto naive = app.run(4, costs, n, 1, 0);
+    const auto pipe = app.run(4, costs, n, 1, block);
+    EXPECT_LT(pipe.vtime_max, naive.vtime_max) << app.name;
+  }
+}
+
+TEST(Suite, PipelinedSendsMoreMessages) {
+  // The §4 tradeoff: smaller blocks, more messages.
+  const auto suite = wavefront_suite();
+  const auto& tomcatv = suite[0];
+  const auto naive = tomcatv.run(4, {}, 32, 1, 0);
+  const auto pipe = tomcatv.run(4, {}, 32, 1, 2);
+  EXPECT_GT(pipe.total.messages_sent, naive.total.messages_sent);
+}
+
+TEST(Suite, DeterministicVirtualTimes) {
+  const CostModel costs = t3e_like().costs;
+  const auto suite = wavefront_suite();
+  const auto& sor = suite[4];
+  const auto a = sor.run(3, costs, 32, 2, 4);
+  const auto b = sor.run(3, costs, 32, 2, 4);
+  EXPECT_DOUBLE_EQ(a.vtime_max, b.vtime_max);
+}
+
+TEST(Suite, SingleRankRuns) {
+  const auto suite = wavefront_suite();
+  for (const auto& app : suite) {
+    const Coord n = app.name == "sweep3d" ? 8 : 20;
+    const auto res = app.run(1, {}, n, 1, 0);
+    EXPECT_EQ(res.vtime.size(), 1u);
+    EXPECT_TRUE(std::isfinite(*app.last_value));
+  }
+}
+
+}  // namespace
+}  // namespace wavepipe

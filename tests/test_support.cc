@@ -1,0 +1,190 @@
+// Unit tests: support module (errors, stats, options, tables, RNG, timer).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/error.hh"
+#include "support/options.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+#include "support/timer.hh"
+
+namespace wavepipe {
+namespace {
+
+TEST(Error, RequireThrowsContractErrorWithMessage) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  try {
+    require(false, "n must be positive");
+    FAIL() << "require(false) did not throw";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("n must be positive"),
+              std::string::npos);
+    EXPECT_EQ(e.condition(), "n must be positive");
+  }
+}
+
+TEST(Error, InternalCheckMarksBug) {
+  try {
+    internal_check(false, "impossible state");
+    FAIL();
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("wavepipe bug"), std::string::npos);
+  }
+}
+
+TEST(Error, HierarchyRootsAtError) {
+  EXPECT_THROW(throw LegalityError("x"), Error);
+  EXPECT_THROW(throw CommError("x"), Error);
+  EXPECT_THROW(throw ConfigError("x"), Error);
+}
+
+TEST(Stats, SummaryOfKnownSample) {
+  const double xs[] = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, 1.5811388, 1e-6);
+}
+
+TEST(Stats, MedianEvenCount) {
+  const double xs[] = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Stats, MedianSingleElement) {
+  const double xs[] = {7.0};
+  EXPECT_DOUBLE_EQ(median(xs), 7.0);
+}
+
+TEST(Stats, GeometricMean) {
+  const double xs[] = {1.0, 4.0, 16.0};
+  EXPECT_NEAR(geometric_mean(xs), 4.0, 1e-12);
+}
+
+TEST(Stats, GeometricMeanRejectsNonPositive) {
+  const double xs[] = {1.0, 0.0};
+  EXPECT_THROW(geometric_mean(xs), ContractError);
+}
+
+TEST(Stats, EmptySampleRejected) {
+  EXPECT_THROW(summarize({}), ContractError);
+  EXPECT_THROW(median({}), ContractError);
+}
+
+TEST(Stats, RelativeDifference) {
+  EXPECT_DOUBLE_EQ(relative_difference(1.0, 1.0), 0.0);
+  EXPECT_NEAR(relative_difference(1.0, 1.1), 0.1 / 1.1, 1e-12);
+  EXPECT_DOUBLE_EQ(relative_difference(0.0, 0.0), 0.0);
+}
+
+TEST(Options, ParsesEqualsAndSpaceForms) {
+  // A bare flag consumes a following non-flag token as its value, so
+  // positional arguments must precede bare flags.
+  const char* argv[] = {"prog", "extra", "--n=128", "--p", "8", "--verbose"};
+  Options o(6, argv);
+  EXPECT_EQ(o.get_int("n", 0), 128);
+  EXPECT_EQ(o.get_int("p", 0), 8);
+  EXPECT_TRUE(o.get_bool("verbose", false));
+  ASSERT_EQ(o.positional().size(), 1u);
+  EXPECT_EQ(o.positional()[0], "extra");
+}
+
+TEST(Options, FallbacksAndTypes) {
+  const char* argv[] = {"prog", "--alpha=2.5"};
+  Options o(2, argv);
+  EXPECT_DOUBLE_EQ(o.get_double("alpha", 0.0), 2.5);
+  EXPECT_EQ(o.get_int("missing", 7), 7);
+  EXPECT_EQ(o.get("missing", "dflt"), "dflt");
+  EXPECT_FALSE(o.has("missing2"));
+}
+
+TEST(Options, RejectsMalformedNumbers) {
+  const char* argv[] = {"prog", "--n=12x"};
+  Options o(2, argv);
+  EXPECT_THROW(o.get_int("n", 0), ContractError);
+}
+
+TEST(Options, TracksUnusedFlags) {
+  const char* argv[] = {"prog", "--used=1", "--typo=2"};
+  Options o(3, argv);
+  (void)o.get_int("used", 0);
+  const auto unused = o.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Table, AlignsAndCounts) {
+  Table t("demo");
+  t.set_header({"a", "bbbb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+}
+
+TEST(Table, RowWidthMustMatchHeader) {
+  Table t("demo");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractError);
+}
+
+TEST(Table, CsvOutput) {
+  Table t("demo");
+  t.set_header({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformBounds) {
+  SplitMix64 r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(2.0, 3.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+    const auto k = r.uniform_int(-5, 5);
+    EXPECT_GE(k, -5);
+    EXPECT_LE(k, 5);
+  }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  SplitMix64 r(99);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += r.bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.02);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_GT(t.microseconds(), 0.0);
+}
+
+TEST(Timer, TimePerRepRunsAtLeastMinReps) {
+  int calls = 0;
+  const double per = time_per_rep([&] { ++calls; }, 0.0, 5);
+  EXPECT_GE(calls, 6);  // warm-up + 5 reps
+  EXPECT_GE(per, 0.0);
+}
+
+}  // namespace
+}  // namespace wavepipe

@@ -1,0 +1,107 @@
+// Unit tests: the distributed 2-D transpose substrate.
+#include <gtest/gtest.h>
+
+#include "array/transpose.hh"
+#include "comm/machine.hh"
+
+namespace wavepipe {
+namespace {
+
+double stamp(Coord i, Coord j) { return static_cast<double>(i * 1000 + j); }
+
+TEST(Transpose, RegionTransposes) {
+  const Region<2> r({{2, 5}}, {{9, 7}});
+  EXPECT_EQ(transposed_region(r), (Region<2>({{5, 2}}, {{7, 9}})));
+  EXPECT_EQ(transposed_region(transposed_region(r)), r);
+}
+
+TEST(Transpose, LayoutKeepsGridSwapsFluff) {
+  const Layout<2> src(Region<2>({{0, 0}}, {{9, 19}}), ProcGrid<2>({4, 1}),
+                      Idx<2>{{1, 2}});
+  const Layout<2> t = transposed_layout(src);
+  EXPECT_EQ(t.global(), (Region<2>({{0, 0}}, {{19, 9}})));
+  EXPECT_EQ(t.grid().dim(0), 4);
+  EXPECT_EQ(t.grid().dim(1), 1);
+  EXPECT_EQ(t.fluff(), (Idx<2>{{2, 1}}));
+}
+
+class TransposeMachine : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransposeMachine, RoundTripIsIdentity) {
+  const int p = GetParam();
+  const Coord n = 13, m = 9;  // non-square, uneven blocks
+  Machine::run(p, {}, [&](Communicator& comm) {
+    const Layout<2> layout(Region<2>({{0, 0}}, {{n - 1, m - 1}}),
+                           ProcGrid<2>::along_dim(p, 0), Idx<2>{{1, 1}});
+    const Layout<2> tlayout = transposed_layout(layout);
+    DistArray<double, 2> a("a", layout, comm.rank());
+    DistArray<double, 2> at_("at", tlayout, comm.rank());
+    DistArray<double, 2> back("back", layout, comm.rank());
+    a.fill_owned([](const Idx<2>& i) { return stamp(i.v[0], i.v[1]); });
+
+    transpose(a, at_, comm, 700);
+    // Every owned cell of the transpose holds the swapped stamp.
+    for_each(at_.owned(), [&](const Idx<2>& i) {
+      EXPECT_DOUBLE_EQ(at_(i), stamp(i.v[1], i.v[0]));
+    });
+
+    transpose(at_, back, comm, 720);
+    for_each(back.owned(), [&](const Idx<2>& i) {
+      EXPECT_DOUBLE_EQ(back(i), stamp(i.v[0], i.v[1]));
+    });
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(MachineSizes, TransposeMachine,
+                         ::testing::Values(1, 2, 3, 5));
+
+TEST(Transpose, WorksOnTwoDimensionalGrids) {
+  Machine::run(4, {}, [&](Communicator& comm) {
+    const Layout<2> layout(Region<2>({{1, 1}}, {{8, 12}}), ProcGrid<2>({2, 2}),
+                           Idx<2>{{1, 1}});
+    const Layout<2> tlayout = transposed_layout(layout);
+    DistArray<double, 2> a("a", layout, comm.rank());
+    DistArray<double, 2> t("t", tlayout, comm.rank());
+    a.fill_owned([](const Idx<2>& i) { return stamp(i.v[0], i.v[1]); });
+    transpose(a, t, comm);
+    for_each(t.owned(), [&](const Idx<2>& i) {
+      EXPECT_DOUBLE_EQ(t(i), stamp(i.v[1], i.v[0]));
+    });
+  });
+}
+
+TEST(Transpose, RejectsMismatchedLayouts) {
+  EXPECT_THROW(
+      Machine::run(2, {},
+                   [&](Communicator& comm) {
+                     const Layout<2> layout(Region<2>({{0, 0}}, {{7, 7}}),
+                                            ProcGrid<2>::along_dim(2, 0), {});
+                     const Layout<2> wrong(Region<2>({{0, 0}}, {{6, 7}}),
+                                           ProcGrid<2>::along_dim(2, 0), {});
+                     DistArray<double, 2> a("a", layout, comm.rank());
+                     DistArray<double, 2> b("b", wrong, comm.rank());
+                     transpose(a, b, comm);
+                   }),
+      ContractError);
+}
+
+TEST(Transpose, VirtualTimeChargesAllToAll) {
+  CostModel cm;
+  cm.alpha = 10.0;
+  cm.beta = 1.0;
+  auto res = Machine::run(4, cm, [&](Communicator& comm) {
+    const Layout<2> layout(Region<2>({{0, 0}}, {{15, 15}}),
+                           ProcGrid<2>::along_dim(4, 0), {});
+    DistArray<double, 2> a("a", layout, comm.rank());
+    DistArray<double, 2> t("t", transposed_layout(layout), comm.rank());
+    a.fill_owned([](const Idx<2>&) { return 1.0; });
+    transpose(a, t, comm);
+  });
+  // Each rank sends p-1 = 3 chunks of 4x4 elements.
+  EXPECT_EQ(res.total.messages_sent, 12u);
+  EXPECT_EQ(res.total.elements_sent, 12u * 16u);
+  EXPECT_GT(res.vtime_max, 0.0);
+}
+
+}  // namespace
+}  // namespace wavepipe

@@ -1,0 +1,133 @@
+// Unit tests: unconstrained distance vectors and loop-structure derivation
+// (paper §3.1), including the Fig 3 anti- versus true-dependence cases.
+#include <gtest/gtest.h>
+
+#include "lang/udv.hh"
+
+namespace wavepipe {
+namespace {
+
+TEST(Udv, ExecuteBeforeVectors) {
+  // Unprimed read at offset d => c = d; primed => c = -d ("simply negated").
+  EXPECT_EQ(execute_before_vector<2>({{-1, 0}}, false), (Udv<2>{{-1, 0}}));
+  EXPECT_EQ(execute_before_vector<2>({{-1, 0}}, true), (Udv<2>{{1, 0}}));
+  EXPECT_EQ(execute_before_vector<2>({{2, -3}}, true), (Udv<2>{{-2, 3}}));
+}
+
+TEST(Udv, LexPositive) {
+  LoopStructure<2> ls{{0, 1}, {+1, +1}};
+  EXPECT_TRUE(lex_positive<2>({{1, 0}}, ls));
+  EXPECT_TRUE(lex_positive<2>({{0, 1}}, ls));
+  EXPECT_TRUE(lex_positive<2>({{1, -5}}, ls));
+  EXPECT_FALSE(lex_positive<2>({{-1, 5}}, ls));
+  EXPECT_FALSE(lex_positive<2>({{0, 0}}, ls));
+
+  // Descending dim 0 flips the sign of its component.
+  LoopStructure<2> desc{{0, 1}, {-1, +1}};
+  EXPECT_TRUE(lex_positive<2>({{-1, 0}}, desc));
+  EXPECT_FALSE(lex_positive<2>({{1, 0}}, desc));
+
+  // Permuted order consults dim 1 first.
+  LoopStructure<2> perm{{1, 0}, {+1, +1}};
+  EXPECT_TRUE(lex_positive<2>({{-1, 1}}, perm));
+}
+
+TEST(LoopStructure, Fig3aAntiDependenceDescends) {
+  // a := 2*a@north (unprimed): c = (-1,0); the i-loop must run from high
+  // to low indices — exactly Fig 3(b).
+  const auto ls = derive_loop_structure<2>({{{-1, 0}}}, /*preferred_inner=*/0);
+  ASSERT_TRUE(ls.has_value());
+  EXPECT_EQ(ls->step[0], -1);
+}
+
+TEST(LoopStructure, Fig3dTrueDependenceAscends) {
+  // a := 2*a'@north (primed): c = (1,0); the i-loop runs low to high —
+  // exactly Fig 3(e).
+  const auto ls = derive_loop_structure<2>({{{1, 0}}}, 0);
+  ASSERT_TRUE(ls.has_value());
+  EXPECT_EQ(ls->step[0], +1);
+}
+
+TEST(LoopStructure, PrefersRequestedInnerDimension) {
+  // Tomcatv: constraint (1,0); column-major wants dim 0 innermost, and the
+  // structure [dim1 outer, dim0 inner asc] satisfies the dependence.
+  const auto ls = derive_loop_structure<2>({{{1, 0}}}, 0);
+  ASSERT_TRUE(ls.has_value());
+  EXPECT_EQ(ls->order[1], 0u);
+  EXPECT_EQ(ls->order[0], 1u);
+  EXPECT_EQ(ls->step[0], +1);
+
+  // Row-major prefers dim 1 innermost; the same constraint allows it.
+  const auto ls2 = derive_loop_structure<2>({{{1, 0}}}, 1);
+  ASSERT_TRUE(ls2.has_value());
+  EXPECT_EQ(ls2->order[1], 1u);
+}
+
+TEST(LoopStructure, OverConstrainedReturnsNullopt) {
+  // Contradictory: iteration i before i+(1,0) and before i-(1,0).
+  EXPECT_FALSE(derive_loop_structure<2>({{{1, 0}}, {{-1, 0}}}, 0).has_value());
+  // Example 4's pattern: (0,1) and (0,-1).
+  EXPECT_FALSE(derive_loop_structure<2>({{{0, 1}}, {{0, -1}}}, 0).has_value());
+}
+
+TEST(LoopStructure, ZeroVectorIsContradiction) {
+  EXPECT_FALSE(derive_loop_structure<2>({{{0, 0}}}, 0).has_value());
+}
+
+TEST(LoopStructure, Example3MixedSigns) {
+  // Example 3: d1=(-1,0), d2=(1,1) primed => constraints (1,0), (-1,-1).
+  // Legal: dim 1 outer descending, dim 0 inner ascending.
+  const auto ls = derive_loop_structure<2>({{{1, 0}}, {{-1, -1}}}, 0);
+  ASSERT_TRUE(ls.has_value());
+  EXPECT_TRUE(satisfies<2>({{{1, 0}}, {{-1, -1}}}, *ls));
+  EXPECT_EQ(ls->order[0], 1u);   // dim 1 must be outermost
+  EXPECT_EQ(ls->step[1], -1);    // and descending
+  EXPECT_EQ(ls->step[0], +1);
+}
+
+TEST(LoopStructure, ForcedStepHonored) {
+  // (1,0) allows dim0 ascending only; forcing descending must fail, forcing
+  // ascending must succeed.
+  EXPECT_FALSE(derive_loop_structure<2>({{{1, 0}}}, 0, Rank{0}, -1).has_value());
+  const auto ls = derive_loop_structure<2>({{{1, 0}}}, 0, Rank{0}, +1);
+  ASSERT_TRUE(ls.has_value());
+  EXPECT_EQ(ls->step[0], +1);
+}
+
+TEST(LoopStructure, EmptyConstraintsAnythingGoes) {
+  const auto ls = derive_loop_structure<2>({}, 1);
+  ASSERT_TRUE(ls.has_value());
+  // Prefers ascending, declaration order, requested inner dim.
+  EXPECT_EQ(ls->order[1], 1u);
+  EXPECT_EQ(ls->step[0], +1);
+  EXPECT_EQ(ls->step[1], +1);
+}
+
+TEST(LoopStructure, Rank3SweepOctant) {
+  // SWEEP3D: constraints (1,0,0),(0,1,0),(0,0,1): all-ascending works.
+  const auto ls =
+      derive_loop_structure<3>({{{1, 0, 0}}, {{0, 1, 0}}, {{0, 0, 1}}}, 0);
+  ASSERT_TRUE(ls.has_value());
+  EXPECT_EQ(ls->step[0], +1);
+  EXPECT_EQ(ls->step[1], +1);
+  EXPECT_EQ(ls->step[2], +1);
+}
+
+TEST(LoopStructure, Rank1) {
+  const auto asc = derive_loop_structure<1>({{{1}}}, 0);
+  ASSERT_TRUE(asc.has_value());
+  EXPECT_EQ(asc->step[0], +1);
+  const auto desc = derive_loop_structure<1>({{{-2}}}, 0);
+  ASSERT_TRUE(desc.has_value());
+  EXPECT_EQ(desc->step[0], -1);
+  EXPECT_FALSE(derive_loop_structure<1>({{{1}}, {{-1}}}, 0).has_value());
+}
+
+TEST(LoopStructure, SatisfiesChecksAllConstraints) {
+  LoopStructure<2> ls{{0, 1}, {+1, +1}};
+  EXPECT_TRUE(satisfies<2>({{{1, 0}}, {{0, 1}}, {{1, 1}}}, ls));
+  EXPECT_FALSE(satisfies<2>({{{1, 0}}, {{0, -1}}}, ls));
+}
+
+}  // namespace
+}  // namespace wavepipe

@@ -1,0 +1,130 @@
+// Unit tests: wavefront summary vectors — the paper's f function, the WSV
+// examples from §2.2, and the dimension-role rules (cases i-iii).
+#include <gtest/gtest.h>
+
+#include "lang/wsv.hh"
+
+namespace wavepipe {
+namespace {
+
+TEST(WsvF, PaperDefinition) {
+  // f(i,j) = 0 if i=j=0; ± if ij<0; + if ij>=0 and (i>0 or j>0); - if
+  // ij>=0 and (i<0 or j<0).
+  EXPECT_EQ(wsv_combine2(0, 0), WComp::kZero);
+  EXPECT_EQ(wsv_combine2(1, -1), WComp::kBoth);
+  EXPECT_EQ(wsv_combine2(-2, 3), WComp::kBoth);
+  EXPECT_EQ(wsv_combine2(1, 0), WComp::kPlus);
+  EXPECT_EQ(wsv_combine2(0, 2), WComp::kPlus);
+  EXPECT_EQ(wsv_combine2(1, 2), WComp::kPlus);
+  EXPECT_EQ(wsv_combine2(-1, 0), WComp::kMinus);
+  EXPECT_EQ(wsv_combine2(0, -2), WComp::kMinus);
+  EXPECT_EQ(wsv_combine2(-1, -3), WComp::kMinus);
+}
+
+TEST(WsvF, FoldMatchesPairwise) {
+  for (Coord i = -2; i <= 2; ++i) {
+    for (Coord j = -2; j <= 2; ++j) {
+      EXPECT_EQ(wsv_fold(wsv_fold(WComp::kZero, i), j), wsv_combine2(i, j))
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(Wsv, PaperExamples) {
+  // WSV({(-1,0), (-2,0)}) = (-,0)
+  EXPECT_EQ(to_string(wavefront_summary<2>({{{-1, 0}}, {{-2, 0}}})), "(-,0)");
+  // WSV({(-1,0), (-2,0), (-1,2)}) = (-,+)
+  EXPECT_EQ(to_string(wavefront_summary<2>({{{-1, 0}}, {{-2, 0}}, {{-1, 2}}})),
+            "(-,+)");
+  // WSV({(-1,0), (0,-1)}) = (-,-)
+  EXPECT_EQ(to_string(wavefront_summary<2>({{{-1, 0}}, {{0, -1}}})), "(-,-)");
+  // WSV({(-1,0), (1,-2)}) = (±,-)
+  EXPECT_EQ(to_string(wavefront_summary<2>({{{-1, 0}}, {{1, -2}}})), "(±,-)");
+}
+
+TEST(Wsv, SimplePredicateMatchesPaper) {
+  // "All but the final example are simple."
+  EXPECT_TRUE(is_simple(wavefront_summary<2>({{{-1, 0}}, {{-2, 0}}})));
+  EXPECT_TRUE(is_simple(wavefront_summary<2>({{{-1, 0}}, {{-2, 0}}, {{-1, 2}}})));
+  EXPECT_TRUE(is_simple(wavefront_summary<2>({{{-1, 0}}, {{0, -1}}})));
+  EXPECT_FALSE(is_simple(wavefront_summary<2>({{{-1, 0}}, {{1, -2}}})));
+}
+
+TEST(Wsv, EmptySetIsAllZero) {
+  const auto w = wavefront_summary<2>({});
+  EXPECT_TRUE(all_zero(w));
+  EXPECT_TRUE(is_simple(w));
+}
+
+TEST(WsvAnalysis, CaseI_ZeroAndNonzero) {
+  // WSV (-,0): dim 0 pipelined (the wavefront), dim 1 completely parallel.
+  const auto a = analyze_wsv<2>(wavefront_summary<2>({{{-1, 0}}}));
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(a->wavefront_dim.has_value());
+  EXPECT_EQ(*a->wavefront_dim, 0u);
+  EXPECT_EQ(a->travel, +1);  // '-' entries ascend
+  EXPECT_EQ(a->roles[0], DimRole::kWavefront);
+  EXPECT_EQ(a->roles[1], DimRole::kParallel);
+}
+
+TEST(WsvAnalysis, CaseII_NoZeroSomeBoth) {
+  // Example 3: WSV (±,+) — dim 1 is the wavefront, dim 0 serialized.
+  const auto a = analyze_wsv<2>(wavefront_summary<2>({{{-1, 0}}, {{1, 1}}}));
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(a->wavefront_dim.has_value());
+  EXPECT_EQ(*a->wavefront_dim, 1u);
+  EXPECT_EQ(a->travel, -1);  // '+' entries descend
+  EXPECT_EQ(a->roles[0], DimRole::kSerial);
+  EXPECT_EQ(a->roles[1], DimRole::kWavefront);
+}
+
+TEST(WsvAnalysis, CaseIII_AllNonzeroLeftmostWins) {
+  // Example 2's WSV (-,-): either dim could carry the wave; the paper's
+  // rule picks the leftmost by default.
+  const auto wsv = wavefront_summary<2>({{{-1, 0}}, {{0, -1}}});
+  const auto a = analyze_wsv<2>(wsv);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a->wavefront_dim, 0u);
+  EXPECT_EQ(a->roles[1], DimRole::kPipeline);
+
+  // Example 2 itself chose the second dimension: the policy is selectable.
+  const auto b = analyze_wsv<2>(wsv, WavefrontChoice::kRightmost);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*b->wavefront_dim, 1u);
+  EXPECT_EQ(b->roles[0], DimRole::kPipeline);
+}
+
+TEST(WsvAnalysis, Example4OverConstrained) {
+  // Example 4: d1=(0,-1), d2=(0,1) => WSV (0,±): not legal.
+  const auto a = analyze_wsv<2>(wavefront_summary<2>({{{0, -1}}, {{0, 1}}}));
+  EXPECT_FALSE(a.has_value());
+}
+
+TEST(WsvAnalysis, AllZeroIsFullyParallel) {
+  const auto a = analyze_wsv<2>(wavefront_summary<2>({}));
+  ASSERT_TRUE(a.has_value());
+  EXPECT_FALSE(a->wavefront_dim.has_value());
+  EXPECT_EQ(a->roles[0], DimRole::kParallel);
+  EXPECT_EQ(a->roles[1], DimRole::kParallel);
+}
+
+TEST(WsvAnalysis, Rank3Sweep) {
+  // SWEEP3D octant: dirs {(-1,0,0),(0,-1,0),(0,0,-1)} => (-,-,-).
+  const auto a = analyze_wsv<3>(
+      wavefront_summary<3>({{{-1, 0, 0}}, {{0, -1, 0}}, {{0, 0, -1}}}));
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a->wavefront_dim, 0u);
+  EXPECT_EQ(a->travel, +1);
+  EXPECT_EQ(a->roles[1], DimRole::kPipeline);
+  EXPECT_EQ(a->roles[2], DimRole::kPipeline);
+}
+
+TEST(Wsv, ToStringRendering) {
+  EXPECT_EQ(to_string(WComp::kZero), "0");
+  EXPECT_EQ(to_string(WComp::kPlus), "+");
+  EXPECT_EQ(to_string(WComp::kMinus), "-");
+  EXPECT_EQ(to_string(WComp::kBoth), "±");
+}
+
+}  // namespace
+}  // namespace wavepipe
