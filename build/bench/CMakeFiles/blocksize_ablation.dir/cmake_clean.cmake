@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocksize_ablation.dir/blocksize_ablation.cc.o"
+  "CMakeFiles/blocksize_ablation.dir/blocksize_ablation.cc.o.d"
+  "blocksize_ablation"
+  "blocksize_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocksize_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

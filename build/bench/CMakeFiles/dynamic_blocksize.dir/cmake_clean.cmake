@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_blocksize.dir/dynamic_blocksize.cc.o"
+  "CMakeFiles/dynamic_blocksize.dir/dynamic_blocksize.cc.o.d"
+  "dynamic_blocksize"
+  "dynamic_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

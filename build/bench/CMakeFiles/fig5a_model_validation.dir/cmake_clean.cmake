@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_model_validation.dir/fig5a_model_validation.cc.o"
+  "CMakeFiles/fig5a_model_validation.dir/fig5a_model_validation.cc.o.d"
+  "fig5a_model_validation"
+  "fig5a_model_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_model_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_model_worstcase.dir/fig5b_model_worstcase.cc.o"
+  "CMakeFiles/fig5b_model_worstcase.dir/fig5b_model_worstcase.cc.o.d"
+  "fig5b_model_worstcase"
+  "fig5b_model_worstcase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_model_worstcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5b_model_worstcase.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_cache_uniprocessor.dir/fig6_cache_uniprocessor.cc.o"
+  "CMakeFiles/fig6_cache_uniprocessor.dir/fig6_cache_uniprocessor.cc.o.d"
+  "fig6_cache_uniprocessor"
+  "fig6_cache_uniprocessor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cache_uniprocessor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

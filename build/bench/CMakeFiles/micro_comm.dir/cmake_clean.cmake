@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_comm.dir/micro_comm.cc.o"
+  "CMakeFiles/micro_comm.dir/micro_comm.cc.o.d"
+  "micro_comm"
+  "micro_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_lang.dir/micro_lang.cc.o"
+  "CMakeFiles/micro_lang.dir/micro_lang.cc.o.d"
+  "micro_lang"
+  "micro_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_wavefront.dir/suite_wavefront.cc.o"
+  "CMakeFiles/suite_wavefront.dir/suite_wavefront.cc.o.d"
+  "suite_wavefront"
+  "suite_wavefront.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_wavefront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transpose_vs_pipeline.dir/transpose_vs_pipeline.cc.o"
+  "CMakeFiles/transpose_vs_pipeline.dir/transpose_vs_pipeline.cc.o.d"
+  "transpose_vs_pipeline"
+  "transpose_vs_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transpose_vs_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

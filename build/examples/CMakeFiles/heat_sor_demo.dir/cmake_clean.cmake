@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_sor_demo.dir/heat_sor_demo.cpp.o"
+  "CMakeFiles/heat_sor_demo.dir/heat_sor_demo.cpp.o.d"
+  "heat_sor_demo"
+  "heat_sor_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_sor_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smith_waterman_demo.dir/smith_waterman_demo.cpp.o"
+  "CMakeFiles/smith_waterman_demo.dir/smith_waterman_demo.cpp.o.d"
+  "smith_waterman_demo"
+  "smith_waterman_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smith_waterman_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

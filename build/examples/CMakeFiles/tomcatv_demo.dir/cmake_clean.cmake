@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tomcatv_demo.dir/tomcatv_demo.cpp.o"
+  "CMakeFiles/tomcatv_demo.dir/tomcatv_demo.cpp.o.d"
+  "tomcatv_demo"
+  "tomcatv_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tomcatv_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/alt_sweep.cc" "src/CMakeFiles/wp_apps.dir/apps/alt_sweep.cc.o" "gcc" "src/CMakeFiles/wp_apps.dir/apps/alt_sweep.cc.o.d"
+  "/root/repo/src/apps/simple_hydro.cc" "src/CMakeFiles/wp_apps.dir/apps/simple_hydro.cc.o" "gcc" "src/CMakeFiles/wp_apps.dir/apps/simple_hydro.cc.o.d"
+  "/root/repo/src/apps/smith_waterman.cc" "src/CMakeFiles/wp_apps.dir/apps/smith_waterman.cc.o" "gcc" "src/CMakeFiles/wp_apps.dir/apps/smith_waterman.cc.o.d"
+  "/root/repo/src/apps/sor.cc" "src/CMakeFiles/wp_apps.dir/apps/sor.cc.o" "gcc" "src/CMakeFiles/wp_apps.dir/apps/sor.cc.o.d"
+  "/root/repo/src/apps/suite.cc" "src/CMakeFiles/wp_apps.dir/apps/suite.cc.o" "gcc" "src/CMakeFiles/wp_apps.dir/apps/suite.cc.o.d"
+  "/root/repo/src/apps/sweep3d.cc" "src/CMakeFiles/wp_apps.dir/apps/sweep3d.cc.o" "gcc" "src/CMakeFiles/wp_apps.dir/apps/sweep3d.cc.o.d"
+  "/root/repo/src/apps/tomcatv.cc" "src/CMakeFiles/wp_apps.dir/apps/tomcatv.cc.o" "gcc" "src/CMakeFiles/wp_apps.dir/apps/tomcatv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wp_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wp_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wp_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wp_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

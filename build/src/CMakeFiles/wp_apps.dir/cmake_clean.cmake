@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_apps.dir/apps/alt_sweep.cc.o"
+  "CMakeFiles/wp_apps.dir/apps/alt_sweep.cc.o.d"
+  "CMakeFiles/wp_apps.dir/apps/simple_hydro.cc.o"
+  "CMakeFiles/wp_apps.dir/apps/simple_hydro.cc.o.d"
+  "CMakeFiles/wp_apps.dir/apps/smith_waterman.cc.o"
+  "CMakeFiles/wp_apps.dir/apps/smith_waterman.cc.o.d"
+  "CMakeFiles/wp_apps.dir/apps/sor.cc.o"
+  "CMakeFiles/wp_apps.dir/apps/sor.cc.o.d"
+  "CMakeFiles/wp_apps.dir/apps/suite.cc.o"
+  "CMakeFiles/wp_apps.dir/apps/suite.cc.o.d"
+  "CMakeFiles/wp_apps.dir/apps/sweep3d.cc.o"
+  "CMakeFiles/wp_apps.dir/apps/sweep3d.cc.o.d"
+  "CMakeFiles/wp_apps.dir/apps/tomcatv.cc.o"
+  "CMakeFiles/wp_apps.dir/apps/tomcatv.cc.o.d"
+  "libwp_apps.a"
+  "libwp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

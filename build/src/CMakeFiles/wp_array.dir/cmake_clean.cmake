@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_array.dir/array/ghost.cc.o"
+  "CMakeFiles/wp_array.dir/array/ghost.cc.o.d"
+  "CMakeFiles/wp_array.dir/array/io.cc.o"
+  "CMakeFiles/wp_array.dir/array/io.cc.o.d"
+  "libwp_array.a"
+  "libwp_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/collectives.cc" "src/CMakeFiles/wp_comm.dir/comm/collectives.cc.o" "gcc" "src/CMakeFiles/wp_comm.dir/comm/collectives.cc.o.d"
+  "/root/repo/src/comm/communicator.cc" "src/CMakeFiles/wp_comm.dir/comm/communicator.cc.o" "gcc" "src/CMakeFiles/wp_comm.dir/comm/communicator.cc.o.d"
+  "/root/repo/src/comm/cost_model.cc" "src/CMakeFiles/wp_comm.dir/comm/cost_model.cc.o" "gcc" "src/CMakeFiles/wp_comm.dir/comm/cost_model.cc.o.d"
+  "/root/repo/src/comm/machine.cc" "src/CMakeFiles/wp_comm.dir/comm/machine.cc.o" "gcc" "src/CMakeFiles/wp_comm.dir/comm/machine.cc.o.d"
+  "/root/repo/src/comm/mailbox.cc" "src/CMakeFiles/wp_comm.dir/comm/mailbox.cc.o" "gcc" "src/CMakeFiles/wp_comm.dir/comm/mailbox.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

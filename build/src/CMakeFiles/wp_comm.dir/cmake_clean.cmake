@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_comm.dir/comm/collectives.cc.o"
+  "CMakeFiles/wp_comm.dir/comm/collectives.cc.o.d"
+  "CMakeFiles/wp_comm.dir/comm/communicator.cc.o"
+  "CMakeFiles/wp_comm.dir/comm/communicator.cc.o.d"
+  "CMakeFiles/wp_comm.dir/comm/cost_model.cc.o"
+  "CMakeFiles/wp_comm.dir/comm/cost_model.cc.o.d"
+  "CMakeFiles/wp_comm.dir/comm/machine.cc.o"
+  "CMakeFiles/wp_comm.dir/comm/machine.cc.o.d"
+  "CMakeFiles/wp_comm.dir/comm/mailbox.cc.o"
+  "CMakeFiles/wp_comm.dir/comm/mailbox.cc.o.d"
+  "libwp_comm.a"
+  "libwp_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

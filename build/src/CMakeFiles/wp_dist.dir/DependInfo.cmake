@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/block_dist.cc" "src/CMakeFiles/wp_dist.dir/dist/block_dist.cc.o" "gcc" "src/CMakeFiles/wp_dist.dir/dist/block_dist.cc.o.d"
+  "/root/repo/src/dist/layout.cc" "src/CMakeFiles/wp_dist.dir/dist/layout.cc.o" "gcc" "src/CMakeFiles/wp_dist.dir/dist/layout.cc.o.d"
+  "/root/repo/src/dist/proc_grid.cc" "src/CMakeFiles/wp_dist.dir/dist/proc_grid.cc.o" "gcc" "src/CMakeFiles/wp_dist.dir/dist/proc_grid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wp_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_dist.dir/dist/block_dist.cc.o"
+  "CMakeFiles/wp_dist.dir/dist/block_dist.cc.o.d"
+  "CMakeFiles/wp_dist.dir/dist/layout.cc.o"
+  "CMakeFiles/wp_dist.dir/dist/layout.cc.o.d"
+  "CMakeFiles/wp_dist.dir/dist/proc_grid.cc.o"
+  "CMakeFiles/wp_dist.dir/dist/proc_grid.cc.o.d"
+  "libwp_dist.a"
+  "libwp_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/block_select.cc" "src/CMakeFiles/wp_exec.dir/exec/block_select.cc.o" "gcc" "src/CMakeFiles/wp_exec.dir/exec/block_select.cc.o.d"
+  "/root/repo/src/exec/driver.cc" "src/CMakeFiles/wp_exec.dir/exec/driver.cc.o" "gcc" "src/CMakeFiles/wp_exec.dir/exec/driver.cc.o.d"
+  "/root/repo/src/exec/naive.cc" "src/CMakeFiles/wp_exec.dir/exec/naive.cc.o" "gcc" "src/CMakeFiles/wp_exec.dir/exec/naive.cc.o.d"
+  "/root/repo/src/exec/pipelined.cc" "src/CMakeFiles/wp_exec.dir/exec/pipelined.cc.o" "gcc" "src/CMakeFiles/wp_exec.dir/exec/pipelined.cc.o.d"
+  "/root/repo/src/exec/serial.cc" "src/CMakeFiles/wp_exec.dir/exec/serial.cc.o" "gcc" "src/CMakeFiles/wp_exec.dir/exec/serial.cc.o.d"
+  "/root/repo/src/exec/unfused.cc" "src/CMakeFiles/wp_exec.dir/exec/unfused.cc.o" "gcc" "src/CMakeFiles/wp_exec.dir/exec/unfused.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wp_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wp_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wp_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wp_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_exec.dir/exec/block_select.cc.o"
+  "CMakeFiles/wp_exec.dir/exec/block_select.cc.o.d"
+  "CMakeFiles/wp_exec.dir/exec/driver.cc.o"
+  "CMakeFiles/wp_exec.dir/exec/driver.cc.o.d"
+  "CMakeFiles/wp_exec.dir/exec/naive.cc.o"
+  "CMakeFiles/wp_exec.dir/exec/naive.cc.o.d"
+  "CMakeFiles/wp_exec.dir/exec/pipelined.cc.o"
+  "CMakeFiles/wp_exec.dir/exec/pipelined.cc.o.d"
+  "CMakeFiles/wp_exec.dir/exec/serial.cc.o"
+  "CMakeFiles/wp_exec.dir/exec/serial.cc.o.d"
+  "CMakeFiles/wp_exec.dir/exec/unfused.cc.o"
+  "CMakeFiles/wp_exec.dir/exec/unfused.cc.o.d"
+  "libwp_exec.a"
+  "libwp_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

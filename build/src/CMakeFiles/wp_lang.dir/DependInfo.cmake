@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/plan.cc" "src/CMakeFiles/wp_lang.dir/lang/plan.cc.o" "gcc" "src/CMakeFiles/wp_lang.dir/lang/plan.cc.o.d"
+  "/root/repo/src/lang/scan_block.cc" "src/CMakeFiles/wp_lang.dir/lang/scan_block.cc.o" "gcc" "src/CMakeFiles/wp_lang.dir/lang/scan_block.cc.o.d"
+  "/root/repo/src/lang/udv.cc" "src/CMakeFiles/wp_lang.dir/lang/udv.cc.o" "gcc" "src/CMakeFiles/wp_lang.dir/lang/udv.cc.o.d"
+  "/root/repo/src/lang/wsv.cc" "src/CMakeFiles/wp_lang.dir/lang/wsv.cc.o" "gcc" "src/CMakeFiles/wp_lang.dir/lang/wsv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wp_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wp_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wp_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

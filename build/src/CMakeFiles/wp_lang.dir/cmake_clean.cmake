@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_lang.dir/lang/plan.cc.o"
+  "CMakeFiles/wp_lang.dir/lang/plan.cc.o.d"
+  "CMakeFiles/wp_lang.dir/lang/scan_block.cc.o"
+  "CMakeFiles/wp_lang.dir/lang/scan_block.cc.o.d"
+  "CMakeFiles/wp_lang.dir/lang/udv.cc.o"
+  "CMakeFiles/wp_lang.dir/lang/udv.cc.o.d"
+  "CMakeFiles/wp_lang.dir/lang/wsv.cc.o"
+  "CMakeFiles/wp_lang.dir/lang/wsv.cc.o.d"
+  "libwp_lang.a"
+  "libwp_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/machines.cc" "src/CMakeFiles/wp_model.dir/model/machines.cc.o" "gcc" "src/CMakeFiles/wp_model.dir/model/machines.cc.o.d"
+  "/root/repo/src/model/model.cc" "src/CMakeFiles/wp_model.dir/model/model.cc.o" "gcc" "src/CMakeFiles/wp_model.dir/model/model.cc.o.d"
+  "/root/repo/src/model/optimize.cc" "src/CMakeFiles/wp_model.dir/model/optimize.cc.o" "gcc" "src/CMakeFiles/wp_model.dir/model/optimize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_model.dir/model/machines.cc.o"
+  "CMakeFiles/wp_model.dir/model/machines.cc.o.d"
+  "CMakeFiles/wp_model.dir/model/model.cc.o"
+  "CMakeFiles/wp_model.dir/model/model.cc.o.d"
+  "CMakeFiles/wp_model.dir/model/optimize.cc.o"
+  "CMakeFiles/wp_model.dir/model/optimize.cc.o.d"
+  "libwp_model.a"
+  "libwp_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

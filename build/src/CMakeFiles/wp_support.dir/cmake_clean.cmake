@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_support.dir/support/error.cc.o"
+  "CMakeFiles/wp_support.dir/support/error.cc.o.d"
+  "CMakeFiles/wp_support.dir/support/log.cc.o"
+  "CMakeFiles/wp_support.dir/support/log.cc.o.d"
+  "CMakeFiles/wp_support.dir/support/options.cc.o"
+  "CMakeFiles/wp_support.dir/support/options.cc.o.d"
+  "CMakeFiles/wp_support.dir/support/stats.cc.o"
+  "CMakeFiles/wp_support.dir/support/stats.cc.o.d"
+  "CMakeFiles/wp_support.dir/support/table.cc.o"
+  "CMakeFiles/wp_support.dir/support/table.cc.o.d"
+  "libwp_support.a"
+  "libwp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

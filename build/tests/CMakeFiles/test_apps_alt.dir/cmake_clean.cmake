@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_alt.dir/test_apps_alt.cc.o"
+  "CMakeFiles/test_apps_alt.dir/test_apps_alt.cc.o.d"
+  "test_apps_alt"
+  "test_apps_alt.pdb"
+  "test_apps_alt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_alt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apps_simple.cc" "tests/CMakeFiles/test_apps_simple.dir/test_apps_simple.cc.o" "gcc" "tests/CMakeFiles/test_apps_simple.dir/test_apps_simple.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wp_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wp_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wp_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wp_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_simple.dir/test_apps_simple.cc.o"
+  "CMakeFiles/test_apps_simple.dir/test_apps_simple.cc.o.d"
+  "test_apps_simple"
+  "test_apps_simple.pdb"
+  "test_apps_simple[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_simple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_sor.dir/test_apps_sor.cc.o"
+  "CMakeFiles/test_apps_sor.dir/test_apps_sor.cc.o.d"
+  "test_apps_sor"
+  "test_apps_sor.pdb"
+  "test_apps_sor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_sor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_sw.dir/test_apps_sw.cc.o"
+  "CMakeFiles/test_apps_sw.dir/test_apps_sw.cc.o.d"
+  "test_apps_sw"
+  "test_apps_sw.pdb"
+  "test_apps_sw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_sw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_sweep3d.dir/test_apps_sweep3d.cc.o"
+  "CMakeFiles/test_apps_sweep3d.dir/test_apps_sweep3d.cc.o.d"
+  "test_apps_sweep3d"
+  "test_apps_sweep3d.pdb"
+  "test_apps_sweep3d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_sweep3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

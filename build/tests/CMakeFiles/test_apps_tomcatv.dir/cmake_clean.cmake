@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_tomcatv.dir/test_apps_tomcatv.cc.o"
+  "CMakeFiles/test_apps_tomcatv.dir/test_apps_tomcatv.cc.o.d"
+  "test_apps_tomcatv"
+  "test_apps_tomcatv.pdb"
+  "test_apps_tomcatv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_tomcatv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

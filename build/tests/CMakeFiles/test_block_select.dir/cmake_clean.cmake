@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_select.dir/test_block_select.cc.o"
+  "CMakeFiles/test_block_select.dir/test_block_select.cc.o.d"
+  "test_block_select"
+  "test_block_select.pdb"
+  "test_block_select[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

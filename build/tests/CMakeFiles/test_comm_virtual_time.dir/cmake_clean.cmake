@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_virtual_time.dir/test_comm_virtual_time.cc.o"
+  "CMakeFiles/test_comm_virtual_time.dir/test_comm_virtual_time.cc.o.d"
+  "test_comm_virtual_time"
+  "test_comm_virtual_time.pdb"
+  "test_comm_virtual_time[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_virtual_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec_more.dir/test_exec_more.cc.o"
+  "CMakeFiles/test_exec_more.dir/test_exec_more.cc.o.d"
+  "test_exec_more"
+  "test_exec_more.pdb"
+  "test_exec_more[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec_more.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

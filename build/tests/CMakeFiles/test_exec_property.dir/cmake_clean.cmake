@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec_property.dir/test_exec_property.cc.o"
+  "CMakeFiles/test_exec_property.dir/test_exec_property.cc.o.d"
+  "test_exec_property"
+  "test_exec_property.pdb"
+  "test_exec_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

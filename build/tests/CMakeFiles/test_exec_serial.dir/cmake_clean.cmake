@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec_serial.dir/test_exec_serial.cc.o"
+  "CMakeFiles/test_exec_serial.dir/test_exec_serial.cc.o.d"
+  "test_exec_serial"
+  "test_exec_serial.pdb"
+  "test_exec_serial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

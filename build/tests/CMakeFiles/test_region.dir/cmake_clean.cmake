@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_region.dir/test_region.cc.o"
+  "CMakeFiles/test_region.dir/test_region.cc.o.d"
+  "test_region"
+  "test_region.pdb"
+  "test_region[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

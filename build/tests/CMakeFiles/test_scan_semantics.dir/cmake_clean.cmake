@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scan_semantics.dir/test_scan_semantics.cc.o"
+  "CMakeFiles/test_scan_semantics.dir/test_scan_semantics.cc.o.d"
+  "test_scan_semantics"
+  "test_scan_semantics.pdb"
+  "test_scan_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scan_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_udv.dir/test_udv.cc.o"
+  "CMakeFiles/test_udv.dir/test_udv.cc.o.d"
+  "test_udv"
+  "test_udv.pdb"
+  "test_udv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_udv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wsv.dir/test_wsv.cc.o"
+  "CMakeFiles/test_wsv.dir/test_wsv.cc.o.d"
+  "test_wsv"
+  "test_wsv.pdb"
+  "test_wsv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wsv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
