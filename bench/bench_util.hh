@@ -13,25 +13,31 @@
 
 namespace wavepipe::bench {
 
-/// Virtual makespan of one Tomcatv forward-elimination wavefront (the
-/// paper's Fig 5 kernel) at size n on p processors with the given block
-/// size (0 = naive).
+/// One Tomcatv forward-elimination wavefront (the paper's Fig 5 kernel) at
+/// size n on p processors with the given block size (0 = naive). Returns
+/// the full result so callers can inspect the per-rank phase breakdown or
+/// (with an enabled TraceConfig) export the event trace.
+inline RunResult tomcatv_wave_run(const CostModel& costs, Coord n, int p,
+                                  Coord block, bool forward = true,
+                                  TraceConfig trace = {}) {
+  const ProcGrid<2> grid = ProcGrid<2>::along_dim(p, 0);
+  return Machine::run(p, costs, trace, [&](Communicator& comm) {
+    TomcatvConfig cfg;
+    cfg.n = n;
+    Tomcatv app(cfg, grid, comm.rank());
+    WaveOptions opts;
+    opts.block = block;
+    if (forward)
+      app.forward_elimination(comm, opts);
+    else
+      app.back_substitution(comm, opts);
+  });
+}
+
+/// Virtual makespan of one Tomcatv forward-elimination wavefront.
 inline double tomcatv_wave_vtime(const CostModel& costs, Coord n, int p,
                                  Coord block, bool forward = true) {
-  const ProcGrid<2> grid = ProcGrid<2>::along_dim(p, 0);
-  return Machine::run(p, costs,
-                      [&](Communicator& comm) {
-                        TomcatvConfig cfg;
-                        cfg.n = n;
-                        Tomcatv app(cfg, grid, comm.rank());
-                        WaveOptions opts;
-                        opts.block = block;
-                        if (forward)
-                          app.forward_elimination(comm, opts);
-                        else
-                          app.back_substitution(comm, opts);
-                      })
-      .vtime_max;
+  return tomcatv_wave_run(costs, n, p, block, forward).vtime_max;
 }
 
 /// Virtual makespan of one SIMPLE conduction wavefront.

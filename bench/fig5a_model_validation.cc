@@ -50,6 +50,35 @@ int main(int argc, char** argv) {
                fmt(m2.speedup_vs_naive(nw, p, b), 4)});
   }
 
+  // Measured virtual-time breakdown versus the model's terms. The critical
+  // (makespan) rank is the last in the wave: its t_comp is the model's
+  // local-work term n^2/p, and its t_wait absorbs everything upstream —
+  // the pipeline fill (n*b/p)(p-1) plus the T_comm message chain. Its own
+  // t_comm is the block-size-independent ghost pre-exchange, which the
+  // model does not count.
+  Table bt("Fig 5(a) breakdown: critical-rank T_comp/T_comm/T_wait vs "
+           "Model2 terms (n=" +
+           std::to_string(n) + ", p=" + std::to_string(p) + ")");
+  bt.set_header({"b", "t_comp", "t_comm", "t_wait", "model n^2/p",
+                 "model fill+comm", "vtime", "model total"});
+  for (Coord b : {Coord{1}, Coord{8}, Coord{23}, Coord{39}, Coord{64},
+                  Coord{128}, nw}) {
+    if (b > nw) continue;
+    const auto res = tomcatv_wave_run(machine.costs, n, p, b);
+    std::size_t crit = 0;
+    for (std::size_t r = 1; r < res.vtime.size(); ++r)
+      if (res.vtime[r] > res.vtime[crit]) crit = r;
+    const auto& ph = res.phases[crit];
+    const double model_local = m2.serial_time(nw) / p;
+    bt.add_row({std::to_string(b), fmt(ph.t_comp, 6), fmt(ph.t_comm, 6),
+                fmt(ph.t_wait, 6), fmt(model_local, 6),
+                fmt(m2.total_time(nw, p, b) - model_local, 6),
+                fmt(res.vtime[crit], 6), fmt(m2.total_time(nw, p, b), 6)});
+  }
+  bt.add_note("per rank t_comp + t_comm + t_wait == vtime exactly; compare "
+              "t_comp with n^2/p and t_wait with the fill + comm terms");
+  bt.print(std::cout);
+
   const Coord b1 = m1.optimal_block_search(nw, p);
   const Coord b2 = m2.optimal_block_search(nw, p);
   t.add_note("machine calibration: " + machine.costs.describe());

@@ -58,6 +58,37 @@ int main(int argc, char** argv) {
   const Options opts(argc, argv);
   const Coord n = opts.get_int("n", 512);
   const int iterations = static_cast<int>(opts.get_int("iterations", 2));
+
+  // --trace=FILE: run one pipelined Tomcatv wavefront with event tracing,
+  // dump a Chrome trace-event JSON (open in Perfetto / chrome://tracing),
+  // and print the per-rank virtual-time breakdown it summarizes.
+  if (const std::string trace_path = opts.get("trace", "");
+      !trace_path.empty()) {
+    const MachinePreset machine = t3e_like();
+    const int p = static_cast<int>(opts.get_int("p", 8));
+    const Coord b = select_block_static(machine.costs, n - 2, p);
+    TraceConfig trace;
+    trace.enabled = true;
+    const auto res = tomcatv_wave_run(machine.costs, n, p, b, true, trace);
+    if (!write_chrome_trace_file(trace_path, res)) {
+      std::cerr << "cannot write trace to " << trace_path << "\n";
+      return 1;
+    }
+    Table t("Per-rank virtual-time breakdown (tomcatv wave 1, " +
+            std::string(machine.name) + ", n=" + std::to_string(n) +
+            ", p=" + std::to_string(p) + ", b=" + std::to_string(b) + ")");
+    t.set_header({"rank", "t_comp", "t_comm", "t_wait", "vtime", "events"});
+    for (std::size_t r = 0; r < res.vtime.size(); ++r) {
+      const auto& ph = res.phases[r];
+      t.add_row({std::to_string(r), fmt(ph.t_comp, 6), fmt(ph.t_comm, 6),
+                 fmt(ph.t_wait, 6), fmt(res.vtime[r], 6),
+                 std::to_string(res.traces[r].events.size())});
+    }
+    t.add_note("trace written to " + trace_path);
+    t.print(std::cout);
+    return 0;
+  }
+
   run_machine(t3e_like(), n, iterations);
   run_machine(power_challenge_like(), n, iterations);
 

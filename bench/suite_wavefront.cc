@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
   Table t("Wavefront suite: naive vs pipelined (" + std::string(machine.name) +
           ", p=" + std::to_string(p) + ")");
   t.set_header({"app", "n", "b", "naive vtime", "pipelined vtime", "speedup",
-                "naive msgs", "pipelined msgs"});
+                "naive msgs", "pipelined msgs", "pipelined recv elems",
+                "pipelined recv MB"});
 
   const auto suite = wavefront_suite();
   for (const auto& app : suite) {
@@ -37,7 +38,9 @@ int main(int argc, char** argv) {
                fmt(naive.vtime_max, 6), fmt(pipe.vtime_max, 6),
                fmt_speedup(naive.vtime_max / pipe.vtime_max),
                std::to_string(naive.total.messages_sent),
-               std::to_string(pipe.total.messages_sent)});
+               std::to_string(pipe.total.messages_sent),
+               std::to_string(pipe.total.elements_received),
+               fmt(static_cast<double>(pipe.total.bytes_received) / 1e6, 2)});
   }
   for (const auto& app : suite)
     t.add_note(app.name + ": " + app.wavefront_note);

@@ -10,13 +10,14 @@ void Communicator::barrier() {
   // followed by a zero-payload broadcast. Virtual clocks synchronize to the
   // slowest participant plus the two tree traversals' alpha costs, which is
   // the standard log-depth barrier model.
+  const double t0 = vtime_;
   std::uint8_t token = 0;
   reduce_to_root(std::span<std::uint8_t>(&token, 1),
                  [](std::uint8_t, std::uint8_t) { return std::uint8_t{0}; },
                  internal_tags::kBarrier);
   broadcast_from_root(std::span<std::uint8_t>(&token, 1),
                       internal_tags::kBarrier);
-  note_collective();
+  note_collective(t0, 0);
 }
 
 }  // namespace wavepipe

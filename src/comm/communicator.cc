@@ -7,7 +7,7 @@
 namespace wavepipe {
 
 Communicator::Communicator(Machine& machine, int rank)
-    : machine_(machine), rank_(rank) {
+    : machine_(machine), rank_(rank), tracer_(machine.trace_config()) {
   require(rank >= 0 && rank < machine.size(), "communicator rank out of range");
 }
 
@@ -16,7 +16,11 @@ int Communicator::size() const { return machine_.size(); }
 const CostModel& Communicator::costs() const { return machine_.costs(); }
 
 void Communicator::compute(double elements) {
-  vtime_ += elements * machine_.costs().compute_per_element;
+  const double dt = elements * machine_.costs().compute_per_element;
+  tracer_.record(TraceEventType::kCompute, vtime_, vtime_ + dt, -1, 0,
+                 static_cast<std::uint64_t>(elements));
+  vtime_ += dt;
+  phases_.t_comp += dt;
 }
 
 void Communicator::send_bytes(int dst, int tag,
@@ -31,6 +35,7 @@ void Communicator::send_bytes(int dst, int tag,
   m.tag = tag;
   m.elements = elements;
   m.payload.assign(payload.begin(), payload.end());
+  const double t0 = vtime_;
   if (cm.occupy_sender) {
     vtime_ += cm.message_cost(elements);
     m.arrival_vtime = vtime_;
@@ -38,6 +43,8 @@ void Communicator::send_bytes(int dst, int tag,
     m.arrival_vtime = vtime_ + cm.message_cost(elements);
     vtime_ += cm.send_overhead;
   }
+  phases_.t_comm += vtime_ - t0;
+  tracer_.record(TraceEventType::kSend, t0, vtime_, dst, tag, elements);
 
   ++stats_.messages_sent;
   stats_.elements_sent += elements;
@@ -62,8 +69,18 @@ void Communicator::recv_bytes(int src, int tag, std::span<std::byte> out,
                     std::to_string(m.payload.size()) + " bytes)");
   }
   std::memcpy(out.data(), m.payload.data(), m.payload.size());
-  if (m.arrival_vtime > vtime_) vtime_ = m.arrival_vtime;
+  if (m.arrival_vtime > vtime_) {
+    // The rank stalled (in virtual time) waiting for the message.
+    phases_.t_wait += m.arrival_vtime - vtime_;
+    tracer_.record(TraceEventType::kRecvWait, vtime_, m.arrival_vtime, src,
+                   tag, m.elements);
+    vtime_ = m.arrival_vtime;
+  }
+  tracer_.record(TraceEventType::kRecvComplete, vtime_, vtime_, src, tag,
+                 m.elements);
   ++stats_.messages_received;
+  stats_.elements_received += m.elements;
+  stats_.bytes_received += m.payload.size();
 }
 
 bool Communicator::probe(int src, int tag) {

@@ -23,6 +23,7 @@
 #include "comm/cost_model.hh"
 #include "comm/mailbox.hh"
 #include "comm/stats.hh"
+#include "comm/trace.hh"
 #include "support/error.hh"
 
 namespace wavepipe {
@@ -54,8 +55,13 @@ class Communicator {
   /// Charges `elements` worth of computation to this rank's virtual clock.
   void compute(double elements);
 
-  /// Advances the clock by an absolute amount of virtual time.
-  void advance_time(double dt) { vtime_ += dt; }
+  /// Advances the clock by an absolute amount of virtual time. Accounted
+  /// as computation in the phase breakdown.
+  void advance_time(double dt) {
+    tracer_.record(TraceEventType::kCompute, vtime_, vtime_ + dt);
+    vtime_ += dt;
+    phases_.t_comp += dt;
+  }
 
   double vtime() const { return vtime_; }
 
@@ -105,9 +111,10 @@ class Communicator {
   /// result lands in `data` on every rank (MPI_Allreduce).
   template <typename T, typename Op>
   void allreduce(std::span<T> data, Op op) {
+    const double t0 = vtime_;
     reduce_to_root(data, op, internal_tags::kReduce);
     broadcast_from_root(data, internal_tags::kBroadcast);
-    note_collective();
+    note_collective(t0, data.size());
   }
 
   template <typename T>
@@ -131,14 +138,16 @@ class Communicator {
   /// Broadcasts `data` from rank 0 to all ranks.
   template <typename T>
   void broadcast(std::span<T> data) {
+    const double t0 = vtime_;
     broadcast_from_root(data, internal_tags::kBroadcast);
-    note_collective();
+    note_collective(t0, data.size());
   }
 
   /// Gathers `local` from every rank onto rank 0, concatenated in rank
   /// order. Non-root ranks get an empty vector. Chunks may differ in size.
   template <typename T>
   std::vector<T> gather(std::span<const T> local) {
+    const double t0 = vtime_;
     std::vector<T> out;
     if (rank_ == 0) {
       out.insert(out.end(), local.begin(), local.end());
@@ -157,13 +166,23 @@ class Communicator {
                     internal_tags::kGatherSize);
       if (!local.empty()) send_internal(0, local, internal_tags::kGatherData);
     }
-    note_collective();
+    note_collective(t0, local.size());
     return out;
   }
 
-  // ---- stats ----
+  // ---- stats, phases, tracing ----
 
   const CommStats& stats() const { return stats_; }
+
+  /// Virtual-time decomposition accumulated so far; the three buckets
+  /// partition every clock advance, so phases().total() == vtime().
+  const PhaseBreakdown& phases() const { return phases_; }
+
+  /// This rank's event tracer (a disabled no-op unless the Machine was
+  /// given an enabled TraceConfig). Executors may record their own events
+  /// (tiles, statements) through it.
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
 
  private:
   template <typename T>
@@ -231,12 +250,17 @@ class Communicator {
     }
   }
 
-  void note_collective() { ++stats_.collectives; }
+  void note_collective(double t0, std::uint64_t elements) {
+    ++stats_.collectives;
+    tracer_.record(TraceEventType::kCollective, t0, vtime_, -1, 0, elements);
+  }
 
   Machine& machine_;
   int rank_;
   double vtime_ = 0.0;
   CommStats stats_;
+  PhaseBreakdown phases_;
+  Tracer tracer_;
 };
 
 }  // namespace wavepipe

@@ -9,7 +9,8 @@
 
 namespace wavepipe {
 
-Machine::Machine(int size, CostModel costs) : size_(size), costs_(costs) {
+Machine::Machine(int size, CostModel costs, TraceConfig trace)
+    : size_(size), costs_(costs), trace_(trace) {
   require(size >= 1, "machine size must be >= 1");
   require(size <= 4096, "machine size is implausibly large (> 4096 ranks)");
   mailboxes_.reserve(static_cast<std::size_t>(size));
@@ -34,6 +35,9 @@ RunResult Machine::run(const std::function<void(Communicator&)>& fn) {
   RunResult result;
   result.vtime.assign(static_cast<std::size_t>(size_), 0.0);
   result.stats.assign(static_cast<std::size_t>(size_), CommStats{});
+  result.phases.assign(static_cast<std::size_t>(size_), PhaseBreakdown{});
+  if (trace_.enabled)
+    result.traces.assign(static_cast<std::size_t>(size_), RankTrace{});
 
   std::mutex error_mutex;
   std::exception_ptr first_error;
@@ -54,6 +58,13 @@ RunResult Machine::run(const std::function<void(Communicator&)>& fn) {
     }
     result.vtime[static_cast<std::size_t>(rank)] = comm.vtime();
     result.stats[static_cast<std::size_t>(rank)] = comm.stats();
+    result.phases[static_cast<std::size_t>(rank)] = comm.phases();
+    if (comm.tracer().enabled()) {
+      auto& trace = result.traces[static_cast<std::size_t>(rank)];
+      trace.rank = rank;
+      trace.dropped = comm.tracer().dropped();
+      trace.events = comm.tracer().events();
+    }
   };
 
   if (size_ == 1) {
@@ -72,12 +83,25 @@ RunResult Machine::run(const std::function<void(Communicator&)>& fn) {
   for (double v : result.vtime)
     result.vtime_max = std::max(result.vtime_max, v);
   for (const auto& s : result.stats) result.total += s;
+  for (const auto& b : result.phases) result.phases_total += b;
+
+  // WAVEPIPE_TRACE_FILE (or an explicit TraceConfig::file): export without
+  // any code in the program. Each run overwrites, so the last run in a
+  // multi-run process is what lands on disk.
+  if (trace_.enabled && !trace_.file.empty())
+    write_chrome_trace_file(trace_.file, result);
   return result;
 }
 
 RunResult Machine::run(int size, CostModel costs,
                        const std::function<void(Communicator&)>& fn) {
   Machine m(size, costs);
+  return m.run(fn);
+}
+
+RunResult Machine::run(int size, CostModel costs, TraceConfig trace,
+                       const std::function<void(Communicator&)>& fn) {
+  Machine m(size, costs, trace);
   return m.run(fn);
 }
 

@@ -17,6 +17,7 @@
 #include "comm/communicator.hh"
 #include "comm/cost_model.hh"
 #include "comm/mailbox.hh"
+#include "comm/trace.hh"
 
 namespace wavepipe {
 
@@ -33,12 +34,22 @@ struct RunResult {
   /// Per-rank traffic counters and their sum.
   std::vector<CommStats> stats;
   CommStats total;
+  /// Per-rank virtual-time decomposition (t_comp + t_comm + t_wait ==
+  /// vtime[r]) and its sum over ranks. Always populated.
+  std::vector<PhaseBreakdown> phases;
+  PhaseBreakdown phases_total;
+  /// Per-rank event traces; empty unless the machine's TraceConfig was
+  /// enabled. Export with write_chrome_trace().
+  std::vector<RankTrace> traces;
 };
 
 /// An SPMD machine of `size` ranks.
 class Machine {
  public:
-  explicit Machine(int size, CostModel costs = {});
+  /// The default TraceConfig comes from the environment (WAVEPIPE_TRACE),
+  /// so existing callers stay trace-free unless the user opts in.
+  explicit Machine(int size, CostModel costs = {},
+                   TraceConfig trace = TraceConfig::from_env());
   ~Machine();
 
   Machine(const Machine&) = delete;
@@ -46,6 +57,7 @@ class Machine {
 
   int size() const { return size_; }
   const CostModel& costs() const { return costs_; }
+  const TraceConfig& trace_config() const { return trace_; }
 
   /// Runs `fn(comm)` once on every rank and joins. Exceptions thrown by any
   /// rank poison the mailboxes (unblocking peers) and the first one is
@@ -57,6 +69,10 @@ class Machine {
   static RunResult run(int size, CostModel costs,
                        const std::function<void(Communicator&)>& fn);
 
+  /// As above, with an explicit trace configuration.
+  static RunResult run(int size, CostModel costs, TraceConfig trace,
+                       const std::function<void(Communicator&)>& fn);
+
   Mailbox& mailbox(int rank);
 
   /// Sum of messages still queued in all mailboxes (0 after a clean run).
@@ -65,6 +81,7 @@ class Machine {
  private:
   int size_;
   CostModel costs_;
+  TraceConfig trace_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 };
 

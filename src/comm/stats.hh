@@ -13,6 +13,8 @@ struct CommStats {
   std::uint64_t elements_sent = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t messages_received = 0;
+  std::uint64_t elements_received = 0;
+  std::uint64_t bytes_received = 0;
   std::uint64_t collectives = 0;
 
   CommStats& operator+=(const CommStats& o) {
@@ -20,6 +22,8 @@ struct CommStats {
     elements_sent += o.elements_sent;
     bytes_sent += o.bytes_sent;
     messages_received += o.messages_received;
+    elements_received += o.elements_received;
+    bytes_received += o.bytes_received;
     collectives += o.collectives;
     return *this;
   }

@@ -4,8 +4,6 @@
 // SWEEP3D, ...) needs to run SPMD.
 #pragma once
 
-#include <map>
-
 #include "array/ghost.hh"
 #include "exec/pipelined.hh"
 
@@ -14,50 +12,67 @@ namespace wavepipe {
 /// Applies a parallel (no-prime) statement across the machine: exchanges
 /// the ghost cells its shifted reads touch, then applies the statement with
 /// array semantics on this rank's portion of `region`. Collective.
+///
+/// Returns the number of tags the call consumed, starting at `tag_base`
+/// (2*R per distinct read array). Callers issuing several statements must
+/// advance their tag base by at least this much; apply_distributed_all
+/// does so automatically.
 template <typename E>
-void apply_distributed(const Region<E::rank>& region,
-                       const StatementSpec<E>& spec,
-                       const Layout<E::rank>& layout, Communicator& comm,
-                       int tag_base = 300, bool charge = true) {
+int apply_distributed(const Region<E::rank>& region,
+                      const StatementSpec<E>& spec,
+                      const Layout<E::rank>& layout, Communicator& comm,
+                      int tag_base = 300, bool charge = true) {
   constexpr Rank R = E::rank;
+  const double t0 = comm.vtime();
   std::vector<Access<R>> reads;
   spec.expr.collect(reads);
 
-  // Union halo widths per distinct array, then exchange each once.
-  std::map<const void*, std::pair<DenseArray<Real, R>*, Idx<R>>> halos;
+  // Union halo widths per distinct array, keeping the expression's
+  // first-appearance order. (Ordering by array address would let two ranks
+  // — which each allocate their own arrays — assign different tags to the
+  // same logical array and cross their exchanges.)
+  std::vector<std::pair<DenseArray<Real, R>*, Idx<R>>> halos;
   for (const auto& acc : reads) {
     require(!acc.primed,
             "primed references are only meaningful inside scan blocks");
-    auto& entry = halos[acc.array->id()];
-    entry.first = acc.array;
+    auto it = halos.begin();
+    for (; it != halos.end(); ++it)
+      if (it->first->id() == acc.array->id()) break;
+    if (it == halos.end())
+      it = halos.insert(halos.end(), {acc.array, Idx<R>{}});
     for (Rank d = 0; d < R; ++d) {
       const Coord mag = acc.dir.v[d] < 0 ? -acc.dir.v[d] : acc.dir.v[d];
-      entry.second.v[d] = std::max(entry.second.v[d], mag);
+      it->second.v[d] = std::max(it->second.v[d], mag);
     }
   }
   int tag = tag_base;
-  for (auto& [id, entry] : halos) {
+  for (auto& [array, width] : halos) {
     bool any = false;
-    for (Rank d = 0; d < R; ++d) any = any || entry.second.v[d] > 0;
+    for (Rank d = 0; d < R; ++d) any = any || width.v[d] > 0;
     if (any)
-      exchange_ghosts(*entry.first, layout, comm.rank(), comm, entry.second,
-                      tag);
+      exchange_ghosts(*array, layout, comm.rank(), comm, width, tag);
     tag += 2 * static_cast<int>(R);
   }
 
   const Region<R> local = region.intersect(layout.owned(comm.rank()));
   apply_statement(local, spec);
   if (charge) comm.compute(static_cast<double>(local.size()));
+  comm.tracer().record(TraceEventType::kStatement, t0, comm.vtime(), -1,
+                       tag_base, static_cast<std::uint64_t>(local.size()));
+  return tag - tag_base;
 }
 
 /// Applies several parallel statements in order (each is a separate
-/// collective exchange + local apply).
+/// collective exchange + local apply). The tag space each statement uses is
+/// derived from the statement itself (2*R tags per distinct read array), so
+/// a statement reading arbitrarily many arrays cannot collide with the next
+/// statement's exchanges — the former flat stride of 64 could.
 template <Rank R, typename... Es>
 void apply_distributed_all(const Region<R>& region,
                            const Layout<R>& layout, Communicator& comm,
                            const StatementSpec<Es>&... specs) {
   int tag = 300;
-  ((apply_distributed(region, specs, layout, comm, tag), tag += 64), ...);
+  ((tag += apply_distributed(region, specs, layout, comm, tag)), ...);
 }
 
 /// Global max |a(i)| over each rank's portion of `region`. Collective.

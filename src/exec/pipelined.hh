@@ -201,6 +201,7 @@ WaveReport<R> run_wavefront(const WavefrontPlan<R>& plan,
   };
 
   for (Coord j = 0; j < m; ++j) {
+    const double tile_t0 = comm.vtime();
     // Receive the predecessor's face segment for this tile. Tile-order
     // legality (c[t]*s >= 0) guarantees no tile ever needs a *later*
     // predecessor tile, so one receive per tile suffices.
@@ -240,6 +241,12 @@ WaveReport<R> run_wavefront(const WavefrontPlan<R>& plan,
       }
       comm.send(succ, std::span<const Real>(buf), wave_tag);
     }
+
+    // One slice per tile spanning its recv-wait, compute, and send; the
+    // tag carries the tile index so a trace shows the wave marching.
+    comm.tracer().record(TraceEventType::kTile, tile_t0, comm.vtime(), -1,
+                         static_cast<int>(j),
+                         static_cast<std::uint64_t>(tile.size()));
   }
 
   rep.waved = true;

@@ -1,5 +1,5 @@
 // Wall-clock timing utilities used by benchmarks and the dynamic block-size
-// tuner. Virtual (simulated) time lives in comm/clock.hh, not here.
+// tuner. Virtual (simulated) time lives in comm/communicator.hh, not here.
 #pragma once
 
 #include <chrono>

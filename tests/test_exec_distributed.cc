@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "array/io.hh"
+#include "exec/driver.hh"
 #include "exec/pipelined.hh"
 
 namespace wavepipe {
@@ -329,6 +330,89 @@ TEST(Distributed, MessageCountsScaleWithTiles) {
   const auto res_pipe = run_with_block(4);
   EXPECT_EQ(res_naive.total.messages_sent, 1u);
   EXPECT_EQ(res_pipe.total.messages_sent, 8u);  // 32/4 tiles
+}
+
+TEST(Distributed, ApplyDistributedReportsTagsConsumed) {
+  // The tag span is 2*R per distinct read array, independent of how many
+  // times each array appears — it must agree on every rank so statement
+  // sequences can chain their tag bases.
+  const Coord n = 12;
+  const ProcGrid<2> grid = ProcGrid<2>::along_dim(2, 0);
+  Machine::run(2, {}, [&](Communicator& comm) {
+    const Region<2> global({{1, 1}}, {{n, n}});
+    const Region<2> interior({{2, 2}}, {{n - 1, n - 1}});
+    const Layout<2> layout(global, grid, Idx<2>{{1, 1}});
+    DistArray<Real, 2> a("a", layout, comm.rank());
+    DistArray<Real, 2> b("b", layout, comm.rank());
+    DistArray<Real, 2> c("c", layout, comm.rank());
+    a.local().fill(1.0);
+    b.local().fill(2.0);
+    c.local().fill(3.0);
+    // Three distinct read arrays (a twice): 3 * 2*2 = 12 tags.
+    const int used = apply_distributed(
+        interior,
+        c.local() <<= at(a.local(), kNorth) + at(a.local(), kSouth) +
+                      at(b.local(), kWest) + c.local(),
+        layout, comm, 300);
+    EXPECT_EQ(used, 12);
+    // A read-only statement consumes the span too (halo-zero arrays still
+    // reserve their slots, keeping the accounting structural).
+    const int used1 =
+        apply_distributed(interior, a.local() <<= b.local() * 2.0, layout,
+                          comm, 300 + used);
+    EXPECT_EQ(used1, 4);
+  });
+}
+
+TEST(Distributed, StatementSequencesCannotCollideOnTags) {
+  // Regression: apply_distributed_all used a flat stride of 64 tags per
+  // statement, so a statement whose exchanges consumed more could bleed
+  // into the next statement's tag space. The stride is now derived from
+  // the statement; a chain of halo-using statements must stay correct.
+  const Coord n = 14;
+  const ProcGrid<2> grid = ProcGrid<2>::along_dim(2, 0);
+  Machine::run(2, {}, [&](Communicator& comm) {
+    const Region<2> global({{1, 1}}, {{n, n}});
+    const Region<2> interior({{2, 2}}, {{n - 1, n - 1}});
+    const Layout<2> layout(global, grid, Idx<2>{{1, 1}});
+    DistArray<Real, 2> a("a", layout, comm.rank());
+    DistArray<Real, 2> b("b", layout, comm.rank());
+    DistArray<Real, 2> c("c", layout, comm.rank());
+    auto init = [](const Idx<2>& i) {
+      return 1.0 + 0.5 * static_cast<Real>((i.v[0] * 7 + i.v[1] * 3) % 5);
+    };
+    a.local().fill_fn(init);
+    b.local().fill_fn([&](const Idx<2>& i) { return init(i) + 1.0; });
+    c.local().fill(0.0);
+    apply_distributed_all(
+        interior, layout, comm,
+        c.local() <<= at(a.local(), kNorth) + at(b.local(), kSouth),
+        a.local() <<= at(c.local(), kWest) + at(b.local(), kEast),
+        b.local() <<= at(a.local(), kNorthWest) + c.local());
+
+    auto ga = gather_to_root(a, comm, 930);
+    auto gb = gather_to_root(b, comm, 940);
+    auto gc = gather_to_root(c, comm, 950);
+    if (comm.rank() == 0) {
+      DenseArray<Real, 2> ra("ra", global.expanded(Idx<2>{{1, 1}}));
+      DenseArray<Real, 2> rb("rb", global.expanded(Idx<2>{{1, 1}}));
+      DenseArray<Real, 2> rc("rc", global.expanded(Idx<2>{{1, 1}}));
+      ra.fill_fn(init);
+      rb.fill_fn([&](const Idx<2>& i) { return init(i) + 1.0; });
+      rc.fill(0.0);
+      apply_statement(interior,
+                      rc <<= at(ra, kNorth) + at(rb, kSouth));
+      apply_statement(interior, ra <<= at(rc, kWest) + at(rb, kEast));
+      apply_statement(interior, rb <<= at(ra, kNorthWest) + rc);
+      Real max_diff = 0.0;
+      for_each(interior, [&](const Idx<2>& i) {
+        max_diff = std::max(max_diff, std::abs((*ga)(i)-ra(i)));
+        max_diff = std::max(max_diff, std::abs((*gb)(i)-rb(i)));
+        max_diff = std::max(max_diff, std::abs((*gc)(i)-rc(i)));
+      });
+      EXPECT_EQ(max_diff, 0.0);
+    }
+  });
 }
 
 }  // namespace

@@ -1,0 +1,283 @@
+// The event tracer and virtual-time phase accounting: the breakdown must
+// partition each rank's clock exactly, event streams must be deterministic
+// (virtual time does not depend on host scheduling), and the Chrome
+// exporter must emit loadable trace-event JSON.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "apps/tomcatv.hh"
+#include "array/io.hh"
+#include "comm/machine.hh"
+#include "comm/trace.hh"
+#include "exec/driver.hh"
+
+namespace wavepipe {
+namespace {
+
+CostModel costs(double alpha, double beta, double per_elem = 1.0) {
+  CostModel cm;
+  cm.alpha = alpha;
+  cm.beta = beta;
+  cm.compute_per_element = per_elem;
+  return cm;
+}
+
+TraceConfig tracing(std::size_t capacity = 1 << 16) {
+  TraceConfig cfg;
+  cfg.enabled = true;
+  cfg.capacity = capacity;
+  return cfg;
+}
+
+// A 4-rank pipelined Tomcatv forward-elimination sweep under the cost
+// model: the workload the acceptance criteria name.
+RunResult pipelined_sweep(const CostModel& cm, TraceConfig trace,
+                          Coord n = 34, int p = 4, Coord block = 4) {
+  const ProcGrid<2> grid = ProcGrid<2>::along_dim(p, 0);
+  return Machine::run(p, cm, trace, [&](Communicator& comm) {
+    TomcatvConfig cfg;
+    cfg.n = n;
+    Tomcatv app(cfg, grid, comm.rank());
+    WaveOptions opts;
+    opts.block = block;
+    app.forward_elimination(comm, opts);
+  });
+}
+
+TEST(Phases, PartitionVtimeOnPipelinedSweep) {
+  const auto res = pipelined_sweep(costs(30, 1), {});
+  ASSERT_EQ(res.phases.size(), 4u);
+  for (int r = 0; r < 4; ++r) {
+    const auto& b = res.phases[static_cast<std::size_t>(r)];
+    EXPECT_NEAR(b.total(), res.vtime[static_cast<std::size_t>(r)],
+                1e-9 * (1.0 + res.vtime_max))
+        << "rank " << r;
+    EXPECT_GT(b.t_comp, 0.0) << "rank " << r;
+  }
+  // Interior ranks both wait for the wave to arrive and pay send costs.
+  EXPECT_GT(res.phases[1].t_wait, 0.0);
+  EXPECT_GT(res.phases[1].t_comm, 0.0);
+  // The totals line is the sum over ranks.
+  double comp = 0.0;
+  for (const auto& b : res.phases) comp += b.t_comp;
+  EXPECT_DOUBLE_EQ(res.phases_total.t_comp, comp);
+}
+
+TEST(Phases, FreeModelChargesNoComm) {
+  // A free cost model still charges compute (compute_per_element = 1) and
+  // a receiver can still stall behind a later sender, but no message ever
+  // costs anything — and the partition invariant holds regardless.
+  const auto res = pipelined_sweep({}, {});
+  for (std::size_t r = 0; r < res.phases.size(); ++r) {
+    const auto& b = res.phases[r];
+    EXPECT_DOUBLE_EQ(b.t_comm, 0.0);
+    EXPECT_NEAR(b.total(), res.vtime[r], 1e-9 * (1.0 + res.vtime_max));
+  }
+}
+
+TEST(Phases, WaitIsTheClockJump) {
+  // Mirrors VirtualTime.RecvTakesMaxOfOwnAndArrival: rank 1 computes 5,
+  // then stalls until the message sent at t=100 arrives at 100+10+1.
+  Machine::run(2, costs(10, 1), [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.compute(100.0);
+      comm.send_value(1, 1.0);
+    } else {
+      comm.compute(5.0);
+      (void)comm.recv_value<double>(0);
+      EXPECT_DOUBLE_EQ(comm.phases().t_comp, 5.0);
+      EXPECT_DOUBLE_EQ(comm.phases().t_comm, 0.0);
+      EXPECT_DOUBLE_EQ(comm.phases().t_wait, 111.0 - 5.0);
+      EXPECT_DOUBLE_EQ(comm.phases().total(), comm.vtime());
+    }
+  });
+}
+
+TEST(Tracer, DisabledByDefaultAndRecordsNothing) {
+  const auto res = pipelined_sweep(costs(30, 1), {});
+  EXPECT_TRUE(res.traces.empty());
+}
+
+TEST(Tracer, DeterministicAcrossRuns) {
+  const auto first = pipelined_sweep(costs(30, 1), tracing());
+  const auto second = pipelined_sweep(costs(30, 1), tracing());
+  ASSERT_EQ(first.traces.size(), 4u);
+  ASSERT_EQ(second.traces.size(), 4u);
+  for (int r = 0; r < 4; ++r) {
+    const auto& a = first.traces[static_cast<std::size_t>(r)];
+    const auto& b = second.traces[static_cast<std::size_t>(r)];
+    EXPECT_EQ(a.dropped, 0u);
+    EXPECT_FALSE(a.events.empty());
+    // Bit-stable: identical typed events with identical vtime intervals.
+    EXPECT_EQ(a.events, b.events) << "rank " << r;
+  }
+}
+
+TEST(Tracer, EventTypesCoverTheSweep) {
+  const auto res = pipelined_sweep(costs(30, 1), tracing());
+  bool saw_tile = false, saw_send = false, saw_wait = false,
+       saw_compute = false;
+  for (const auto& t : res.traces) {
+    for (const auto& e : t.events) {
+      saw_tile = saw_tile || e.type == TraceEventType::kTile;
+      saw_send = saw_send || e.type == TraceEventType::kSend;
+      saw_wait = saw_wait || e.type == TraceEventType::kRecvWait;
+      saw_compute = saw_compute || e.type == TraceEventType::kCompute;
+      EXPECT_GE(e.t1, e.t0);
+    }
+  }
+  EXPECT_TRUE(saw_tile);
+  EXPECT_TRUE(saw_send);
+  EXPECT_TRUE(saw_wait);
+  EXPECT_TRUE(saw_compute);
+}
+
+TEST(Tracer, TileEventsMatchTheReportedTiling) {
+  // 2 ranks, interior extent 32, block 4 => 8 tiles on each rank.
+  const ProcGrid<2> grid = ProcGrid<2>::along_dim(2, 0);
+  const auto res =
+      Machine::run(2, costs(10, 1), tracing(), [&](Communicator& comm) {
+        TomcatvConfig cfg;
+        cfg.n = 34;
+        Tomcatv app(cfg, grid, comm.rank());
+        WaveOptions opts;
+        opts.block = 4;
+        const auto rep = app.forward_elimination(comm, opts);
+        EXPECT_EQ(rep.tiles, 8);
+      });
+  for (const auto& t : res.traces) {
+    int tiles = 0;
+    for (const auto& e : t.events)
+      if (e.type == TraceEventType::kTile) ++tiles;
+    EXPECT_EQ(tiles, 8) << "rank " << t.rank;
+  }
+}
+
+TEST(Tracer, CollectiveAndStatementEventsAppear) {
+  const ProcGrid<2> grid = ProcGrid<2>::along_dim(2, 0);
+  const auto res =
+      Machine::run(2, costs(5, 1), tracing(), [&](Communicator& comm) {
+        const Region<2> global({{1, 1}}, {{8, 8}});
+        const Layout<2> layout(global, grid, Idx<2>{{1, 1}});
+        DistArray<Real, 2> a("a", layout, comm.rank());
+        a.local().fill(1.0);
+        apply_distributed(Region<2>({{2, 2}}, {{7, 7}}),
+                          a.local() <<= at(a.local(), kNorth) + 1.0, layout,
+                          comm);
+        comm.barrier();
+      });
+  for (const auto& t : res.traces) {
+    bool saw_stmt = false, saw_coll = false;
+    for (const auto& e : t.events) {
+      saw_stmt = saw_stmt || e.type == TraceEventType::kStatement;
+      saw_coll = saw_coll || e.type == TraceEventType::kCollective;
+    }
+    EXPECT_TRUE(saw_stmt) << "rank " << t.rank;
+    EXPECT_TRUE(saw_coll) << "rank " << t.rank;
+  }
+}
+
+TEST(Tracer, RingOverwritesOldestAndCountsDrops) {
+  TraceConfig cfg = tracing(4);
+  Tracer tr(cfg);
+  for (int i = 0; i < 10; ++i)
+    tr.record(TraceEventType::kCompute, i, i + 1, -1, i);
+  EXPECT_EQ(tr.recorded(), 10u);
+  EXPECT_EQ(tr.dropped(), 6u);
+  const auto evs = tr.events();
+  ASSERT_EQ(evs.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(evs[static_cast<std::size_t>(i)].tag, 6 + i);
+    EXPECT_DOUBLE_EQ(evs[static_cast<std::size_t>(i)].t0, 6.0 + i);
+  }
+}
+
+TEST(Tracer, RecvStatsCountElementsAndBytes) {
+  const auto res = Machine::run(2, {}, [](Communicator& comm) {
+    std::vector<double> v(10, 1.0);
+    if (comm.rank() == 0)
+      comm.send(1, std::span<const double>(v));
+    else
+      comm.recv(0, std::span<double>(v));
+  });
+  EXPECT_EQ(res.stats[1].messages_received, 1u);
+  EXPECT_EQ(res.stats[1].elements_received, 10u);
+  EXPECT_EQ(res.stats[1].bytes_received, 80u);
+  EXPECT_EQ(res.total.elements_received, res.total.elements_sent);
+  EXPECT_EQ(res.total.bytes_received, res.total.bytes_sent);
+}
+
+TEST(ChromeExport, EmitsLoadableTraceEventJson) {
+  const auto res = pipelined_sweep(costs(30, 1), tracing());
+  std::ostringstream os;
+  write_chrome_trace(os, res);
+  const std::string json = os.str();
+
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // One named track per rank.
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_NE(json.find("\"name\":\"rank " + std::to_string(r) + "\""),
+              std::string::npos);
+  }
+  // Complete slices for tiles and sends, with durations.
+  EXPECT_NE(json.find("\"name\":\"tile\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"send\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+
+  // Structurally valid: braces and brackets balance and nothing goes
+  // negative (a cheap proxy for well-formed JSON; no parser dependency).
+  long brace = 0, bracket = 0;
+  for (char c : json) {
+    if (c == '{') ++brace;
+    if (c == '}') --brace;
+    if (c == '[') ++bracket;
+    if (c == ']') --bracket;
+    EXPECT_GE(brace, 0);
+    EXPECT_GE(bracket, 0);
+  }
+  EXPECT_EQ(brace, 0);
+  EXPECT_EQ(bracket, 0);
+
+  // Identical runs export identical bytes (trace determinism end-to-end).
+  std::ostringstream os2;
+  write_chrome_trace(os2, pipelined_sweep(costs(30, 1), tracing()));
+  EXPECT_EQ(json, os2.str());
+}
+
+TEST(ChromeExport, WritesFile) {
+  const auto res = pipelined_sweep(costs(30, 1), tracing(), 18, 2, 2);
+  const std::string path = ::testing::TempDir() + "wavepipe_trace.json";
+  ASSERT_TRUE(write_chrome_trace_file(path, res));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(TraceConfigEnv, ParsesEnablingValues) {
+  // from_env reads the real environment; exercise it both ways.
+  ::setenv("WAVEPIPE_TRACE", "1", 1);
+  ::setenv("WAVEPIPE_TRACE_CAPACITY", "128", 1);
+  const TraceConfig on = TraceConfig::from_env();
+  EXPECT_TRUE(on.enabled);
+  EXPECT_EQ(on.capacity, 128u);
+  ::setenv("WAVEPIPE_TRACE", "0", 1);
+  EXPECT_FALSE(TraceConfig::from_env().enabled);
+  ::unsetenv("WAVEPIPE_TRACE");
+  ::unsetenv("WAVEPIPE_TRACE_CAPACITY");
+  EXPECT_FALSE(TraceConfig::from_env().enabled);
+  // WAVEPIPE_TRACE_FILE alone implies tracing and names the export path.
+  ::setenv("WAVEPIPE_TRACE_FILE", "/tmp/wavepipe.trace.json", 1);
+  const TraceConfig exp = TraceConfig::from_env();
+  EXPECT_TRUE(exp.enabled);
+  EXPECT_EQ(exp.file, "/tmp/wavepipe.trace.json");
+  ::unsetenv("WAVEPIPE_TRACE_FILE");
+  EXPECT_FALSE(TraceConfig::from_env().enabled);
+}
+
+}  // namespace
+}  // namespace wavepipe
