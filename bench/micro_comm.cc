@@ -1,19 +1,77 @@
 // Microbenchmarks: the message-passing substrate (google-benchmark).
-// Measures real host overheads of the threaded runtime: point-to-point
-// round trips across payload sizes, collectives across machine sizes, and
-// a ghost exchange.
+// Measures real host overheads of both execution engines: point-to-point
+// round trips across payload sizes, collectives across machine sizes, a
+// ghost exchange, and a pipelined-wave message storm. On exit the binary
+// always writes BENCH_engine.json — a machine-readable threads-vs-fibers
+// comparison (wall seconds, messages/sec, speedup) independent of any
+// --benchmark_filter, so CI can assert the fiber engine's win.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
 
 #include "array/ghost.hh"
 #include "comm/machine.hh"
+#include "support/timer.hh"
 
 namespace {
 
 using namespace wavepipe;
 
-void BM_PingPong(benchmark::State& state) {
-  const std::size_t elems = static_cast<std::size_t>(state.range(0));
-  Machine m(2);
+EngineConfig engine_cfg(EngineKind kind) {
+  EngineConfig cfg;
+  cfg.kind = kind;
+  return cfg;
+}
+
+EngineKind kind_of(const benchmark::State& state) {
+  return state.range(0) == 0 ? EngineKind::kThreads : EngineKind::kFibers;
+}
+
+// ---- workloads shared by the google benchmarks and the JSON report ----
+
+// The pipelined-wave message storm: every rank pushes `msgs` small
+// messages around a ring, receiving as it goes — the per-tile traffic
+// pattern of a deep software pipeline, and the case where per-message
+// engine overhead (kernel switch + lock handoff vs user-space swap)
+// dominates.
+void storm_body(Communicator& comm, int msgs) {
+  const int next = (comm.rank() + 1) % comm.size();
+  const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+  for (int i = 0; i < msgs; ++i) {
+    comm.send_value(next, i, 3);
+    (void)comm.recv_value<int>(prev, 3);
+  }
+}
+
+void pingpong_body(Communicator& comm, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, i);
+      (void)comm.recv_value<int>(1);
+    } else {
+      (void)comm.recv_value<int>(0);
+      comm.send_value(0, i);
+    }
+  }
+}
+
+void allreduce_body(Communicator& comm, int rounds) {
+  double acc = comm.rank();
+  for (int i = 0; i < rounds; ++i)
+    acc = comm.allreduce_sum(acc) / comm.size();
+  benchmark::DoNotOptimize(acc);
+}
+
+// ---- engine-parameterized google benchmarks (range(0): 0=threads,
+// 1=fibers) ----
+
+void BM_EnginePingPong(benchmark::State& state) {
+  const std::size_t elems = static_cast<std::size_t>(state.range(1));
+  Machine m(2, {}, TraceConfig{}, engine_cfg(kind_of(state)));
   for (auto _ : state) {
     m.run([elems](Communicator& comm) {
       std::vector<double> buf(elems, 1.0);
@@ -26,10 +84,43 @@ void BM_PingPong(benchmark::State& state) {
       }
     });
   }
+  state.SetLabel(to_string(m.engine()));
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
                           static_cast<std::int64_t>(elems) * 8);
 }
-BENCHMARK(BM_PingPong)->Arg(1)->Arg(1024)->Arg(65536)->Iterations(200);
+BENCHMARK(BM_EnginePingPong)
+    ->ArgNames({"engine", "elems"})
+    ->ArgsProduct({{0, 1}, {1, 1024, 65536}})
+    ->Iterations(100);
+
+void BM_EngineAllreduce(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(1));
+  Machine m(p, {}, TraceConfig{}, engine_cfg(kind_of(state)));
+  for (auto _ : state) {
+    m.run([](Communicator& comm) { allreduce_body(comm, 1); });
+  }
+  state.SetLabel(to_string(m.engine()));
+}
+BENCHMARK(BM_EngineAllreduce)
+    ->ArgNames({"engine", "p"})
+    ->ArgsProduct({{0, 1}, {2, 8}})
+    ->Iterations(100);
+
+void BM_EngineStorm(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(1));
+  const int msgs = 200;
+  Machine m(p, {}, TraceConfig{}, engine_cfg(kind_of(state)));
+  for (auto _ : state) {
+    m.run([msgs](Communicator& comm) { storm_body(comm, msgs); });
+  }
+  state.SetLabel(to_string(m.engine()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * p *
+                          msgs);  // messages delivered
+}
+BENCHMARK(BM_EngineStorm)
+    ->ArgNames({"engine", "p"})
+    ->ArgsProduct({{0, 1}, {2, 8}})
+    ->Iterations(20);
 
 void BM_Barrier(benchmark::State& state) {
   const int p = static_cast<int>(state.range(0));
@@ -37,19 +128,9 @@ void BM_Barrier(benchmark::State& state) {
   for (auto _ : state) {
     m.run([](Communicator& comm) { comm.barrier(); });
   }
+  state.SetLabel(to_string(m.engine()));
 }
 BENCHMARK(BM_Barrier)->Arg(2)->Arg(8)->Iterations(200);
-
-void BM_AllreduceSum(benchmark::State& state) {
-  const int p = static_cast<int>(state.range(0));
-  Machine m(p);
-  for (auto _ : state) {
-    m.run([](Communicator& comm) {
-      benchmark::DoNotOptimize(comm.allreduce_sum(1.0));
-    });
-  }
-}
-BENCHMARK(BM_AllreduceSum)->Arg(2)->Arg(8)->Iterations(200);
 
 void BM_GhostExchange(benchmark::State& state) {
   const Coord n = state.range(0);
@@ -64,9 +145,111 @@ void BM_GhostExchange(benchmark::State& state) {
       exchange_ghosts(a, comm, Idx<2>{{1, 1}});
     });
   }
+  state.SetLabel(to_string(m.engine()));
 }
 BENCHMARK(BM_GhostExchange)->Arg(64)->Arg(256)->Iterations(100);
 
+// ---- the threads-vs-fibers report ----
+
+struct EngineSample {
+  double wall_seconds = 0.0;       // best of `reps` runs
+  double messages_per_sec = 0.0;   // messages delivered / best wall
+  std::uint64_t messages = 0;      // per run
+};
+
+template <typename Body>
+EngineSample measure(EngineKind kind, int p, int reps, const Body& body) {
+  EngineSample s;
+  Machine m(p, {}, TraceConfig{}, engine_cfg(kind));
+  s.wall_seconds = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    Timer t;
+    const RunResult res = m.run(body);
+    s.wall_seconds = std::min(s.wall_seconds, t.seconds());
+    s.messages = res.total.messages_sent;
+  }
+  if (s.wall_seconds > 0.0)
+    s.messages_per_sec = static_cast<double>(s.messages) / s.wall_seconds;
+  return s;
+}
+
+void write_sample(std::ostream& os, const char* name, const EngineSample& s,
+                  const char* indent) {
+  os << indent << "\"" << name << "\": {\"wall_seconds\": " << s.wall_seconds
+     << ", \"messages\": " << s.messages
+     << ", \"messages_per_sec\": " << s.messages_per_sec << "}";
+}
+
+void write_comparison(std::ostream& os, const char* name, int p,
+                      const EngineSample& threads, const EngineSample& fibers,
+                      bool last) {
+  const double speedup = fibers.wall_seconds > 0.0
+                             ? threads.wall_seconds / fibers.wall_seconds
+                             : 0.0;
+  os << "    \"" << name << "\": {\n      \"p\": " << p << ",\n";
+  write_sample(os, "threads", threads, "      ");
+  os << ",\n";
+  write_sample(os, "fibers", fibers, "      ");
+  os << ",\n      \"speedup_fibers_over_threads\": " << speedup << "\n    }"
+     << (last ? "\n" : ",\n");
+}
+
+// Runs the threads-vs-fibers comparison and writes BENCH_engine.json.
+// Small fixed workloads, best-of-3: stable enough for a CI gate on a
+// shared box, cheap enough to run on every build.
+void write_engine_report(const std::string& path) {
+  constexpr int kReps = 3;
+  constexpr int kStormP = 8;
+  constexpr int kStormMsgs = 1000;       // per rank: 8000 messages per run
+  constexpr int kPingPongRounds = 2000;  // 4000 messages per run
+  constexpr int kAllreduceP = 8;
+  constexpr int kAllreduceRounds = 250;
+
+  const auto storm = [&](EngineKind k) {
+    return measure(k, kStormP, kReps, [](Communicator& comm) {
+      storm_body(comm, kStormMsgs);
+    });
+  };
+  const auto pingpong = [&](EngineKind k) {
+    return measure(k, 2, kReps, [](Communicator& comm) {
+      pingpong_body(comm, kPingPongRounds);
+    });
+  };
+  const auto allreduce = [&](EngineKind k) {
+    return measure(k, kAllreduceP, kReps, [](Communicator& comm) {
+      allreduce_body(comm, kAllreduceRounds);
+    });
+  };
+
+  const EngineSample storm_t = storm(EngineKind::kThreads);
+  const EngineSample storm_f = storm(EngineKind::kFibers);
+  const EngineSample pp_t = pingpong(EngineKind::kThreads);
+  const EngineSample pp_f = pingpong(EngineKind::kFibers);
+  const EngineSample ar_t = allreduce(EngineKind::kThreads);
+  const EngineSample ar_f = allreduce(EngineKind::kFibers);
+
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot write " << path << "\n";
+    return;
+  }
+  os << "{\n  \"reps\": " << kReps << ",\n  \"benchmarks\": {\n";
+  write_comparison(os, "storm", kStormP, storm_t, storm_f, false);
+  write_comparison(os, "pingpong", 2, pp_t, pp_f, false);
+  write_comparison(os, "allreduce", kAllreduceP, ar_t, ar_f, true);
+  os << "  }\n}\n";
+  std::cout << "wrote " << path << " (storm p=" << kStormP
+            << " speedup fibers/threads: "
+            << storm_t.wall_seconds / storm_f.wall_seconds << "x)\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_engine_report("BENCH_engine.json");
+  return 0;
+}

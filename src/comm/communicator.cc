@@ -34,7 +34,7 @@ void Communicator::send_bytes(int dst, int tag,
   m.src = rank_;
   m.tag = tag;
   m.elements = elements;
-  m.payload.assign(payload.begin(), payload.end());
+  m.payload.assign(payload);
   const double t0 = vtime_;
   if (cm.occupy_sender) {
     vtime_ += cm.message_cost(elements);

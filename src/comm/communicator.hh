@@ -65,6 +65,11 @@ class Communicator {
 
   double vtime() const { return vtime_; }
 
+  /// Engine seam: the stable address of this rank's virtual clock. The
+  /// cooperative scheduler reads it to order runnable ranks
+  /// earliest-vtime-first; nothing may write through it.
+  const double* vtime_address() const { return &vtime_; }
+
   // ---- point-to-point ----
 
   /// Sends `data` to rank `dst`. Buffered: returns as soon as the payload

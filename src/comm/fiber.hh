@@ -1,0 +1,92 @@
+// Cooperative-fiber execution engine for the SPMD Machine.
+//
+// The threaded engine pays a kernel context switch plus a lock handoff for
+// every message, which on a small host dominates wall-clock time. This
+// engine runs all ranks as stackful fibers (POSIX ucontext) on the calling
+// thread: a rank runs until it blocks (recv with no matching message, a
+// collective waiting on a peer), then the scheduler switches — in user
+// space, no locks — to the runnable rank with the earliest virtual clock
+// (rank id as tiebreak). Because virtual times, stats, phases, and trace
+// stamps depend only on per-rank program order and sender-computed arrival
+// stamps, the fiber engine produces results byte-identical to the threaded
+// engine (asserted in tests/test_engine_equivalence.cc); scheduling order
+// is additionally deterministic, run to run.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "comm/mailbox.hh"
+
+namespace wavepipe {
+
+/// How Machine::run executes its ranks.
+enum class EngineKind {
+  kThreads,  // one OS thread per rank (the original engine)
+  kFibers,   // all ranks as cooperative fibers on the calling thread
+};
+
+const char* to_string(EngineKind k);
+
+/// True when the platform provides the context-switching API the fiber
+/// engine needs (POSIX ucontext + mmap). When false, a Machine asked for
+/// kFibers falls back to kThreads with a logged warning.
+bool fibers_supported();
+
+struct EngineConfig {
+  /// Per-fiber stack size before clamping (WAVEPIPE_FIBER_STACK). The
+  /// default fits every workload in this repository with a wide margin;
+  /// rank bodies keep bulk data on the heap (DenseArray, message payloads).
+  static constexpr std::size_t kDefaultStackBytes = std::size_t{1} << 20;
+  /// Machine clamps smaller requests up to this floor.
+  static constexpr std::size_t kMinStackBytes = std::size_t{64} << 10;
+
+  EngineKind kind = EngineKind::kFibers;
+  std::size_t stack_bytes = kDefaultStackBytes;
+
+  /// WAVEPIPE_ENGINE=threads|fibers selects the engine (default fibers);
+  /// WAVEPIPE_FIBER_STACK=N[k|m] sizes fiber stacks in bytes (suffixes for
+  /// KiB / MiB). Unparseable values throw ConfigError.
+  static EngineConfig from_env();
+};
+
+class Communicator;
+
+/// The cooperative scheduler: owns one fiber per rank and implements the
+/// MailboxBlocker seam so unmatched receives yield instead of waiting on a
+/// condition variable. One instance serves one Machine::run call.
+class FiberScheduler : public MailboxBlocker {
+ public:
+  FiberScheduler(int ranks, std::size_t stack_bytes);
+  ~FiberScheduler() override;
+
+  FiberScheduler(const FiberScheduler&) = delete;
+  FiberScheduler& operator=(const FiberScheduler&) = delete;
+
+  /// Registers rank's virtual clock (called by the rank's own fiber once
+  /// its Communicator exists); the scheduler reads it to order runnable
+  /// ranks earliest-vtime-first. Unbound ranks order as vtime 0.
+  void bind_clock(int rank, const double* vtime);
+
+  /// Runs body(rank) for every rank to completion on the calling thread.
+  /// When every unfinished rank is blocked (a communication deadlock, which
+  /// the threaded engine would hang on), `on_deadlock` is invoked to poison
+  /// the machine's mailboxes; the blocked fibers then unwind their stacks
+  /// normally and run() throws EngineError naming the blocked ranks.
+  /// EngineError is also thrown when a fiber overflows its stack (detected
+  /// via a low-stack check at every block point plus a canary zone — see
+  /// DESIGN.md §9).
+  void run(const std::function<void(int)>& body,
+           const std::function<void()>& on_deadlock);
+
+  // MailboxBlocker seam (called from fiber context / by depositing ranks).
+  void block(Mailbox& mb) override;
+  void notify(Mailbox& mb) override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace wavepipe

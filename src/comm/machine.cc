@@ -1,18 +1,28 @@
 #include "comm/machine.hh"
 
+#include <algorithm>
 #include <exception>
 #include <mutex>
 #include <thread>
 
 #include "support/error.hh"
+#include "support/log.hh"
 #include "support/timer.hh"
 
 namespace wavepipe {
 
-Machine::Machine(int size, CostModel costs, TraceConfig trace)
-    : size_(size), costs_(costs), trace_(trace) {
+Machine::Machine(int size, CostModel costs, TraceConfig trace,
+                 EngineConfig engine)
+    : size_(size), costs_(costs), trace_(trace), engine_(engine) {
   require(size >= 1, "machine size must be >= 1");
   require(size <= 4096, "machine size is implausibly large (> 4096 ranks)");
+  if (engine_.kind == EngineKind::kFibers && !fibers_supported()) {
+    log_warn("WAVEPIPE_ENGINE=fibers requested but this platform has no "
+             "context API; falling back to the threaded engine");
+    engine_.kind = EngineKind::kThreads;
+  }
+  engine_.stack_bytes =
+      std::max(engine_.stack_bytes, EngineConfig::kMinStackBytes);
   mailboxes_.reserve(static_cast<std::size_t>(size));
   for (int r = 0; r < size; ++r)
     mailboxes_.push_back(std::make_unique<Mailbox>());
@@ -31,6 +41,34 @@ std::size_t Machine::pending_messages() const {
   return n;
 }
 
+void Machine::run_threads(
+    const std::function<void(int, FiberScheduler*)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r)
+    threads.emplace_back([&body, r] { body(r, nullptr); });
+  for (auto& t : threads) t.join();
+}
+
+void Machine::run_fibers(
+    const std::function<void(int, FiberScheduler*)>& body) {
+  FiberScheduler sched(size_, engine_.stack_bytes);
+  // Detach the cooperative blocking policy however the run ends, so the
+  // mailboxes are back in their locked (externally usable) mode.
+  struct BlockerGuard {
+    std::vector<std::unique_ptr<Mailbox>>& boxes;
+    ~BlockerGuard() {
+      for (auto& mb : boxes) mb->set_blocker(nullptr);
+    }
+  } guard{mailboxes_};
+  for (auto& mb : mailboxes_) mb->set_blocker(&sched);
+  sched.run([&](int rank) { body(rank, &sched); },
+            [&] {
+              for (auto& mb : mailboxes_)
+                mb->poison("deadlock: every rank is blocked");
+            });
+}
+
 RunResult Machine::run(const std::function<void(Communicator&)>& fn) {
   RunResult result;
   result.vtime.assign(static_cast<std::size_t>(size_), 0.0);
@@ -43,8 +81,9 @@ RunResult Machine::run(const std::function<void(Communicator&)>& fn) {
   std::exception_ptr first_error;
 
   Timer wall;
-  auto body = [&](int rank) {
+  auto body = [&](int rank, FiberScheduler* sched) {
     Communicator comm(*this, rank);
+    if (sched) sched->bind_clock(rank, comm.vtime_address());
     try {
       fn(comm);
     } catch (...) {
@@ -68,12 +107,12 @@ RunResult Machine::run(const std::function<void(Communicator&)>& fn) {
   };
 
   if (size_ == 1) {
-    body(0);  // run inline: keeps single-rank timing free of thread noise
+    body(0, nullptr);  // run inline: keeps single-rank timing free of
+                       // thread/fiber noise
+  } else if (engine_.kind == EngineKind::kFibers) {
+    run_fibers(body);
   } else {
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(size_));
-    for (int r = 0; r < size_; ++r) threads.emplace_back(body, r);
-    for (auto& t : threads) t.join();
+    run_threads(body);
   }
   result.wall_seconds = wall.seconds();
 
@@ -102,6 +141,12 @@ RunResult Machine::run(int size, CostModel costs,
 RunResult Machine::run(int size, CostModel costs, TraceConfig trace,
                        const std::function<void(Communicator&)>& fn) {
   Machine m(size, costs, trace);
+  return m.run(fn);
+}
+
+RunResult Machine::run(int size, CostModel costs, EngineConfig engine,
+                       const std::function<void(Communicator&)>& fn) {
+  Machine m(size, costs, TraceConfig::from_env(), engine);
   return m.run(fn);
 }
 

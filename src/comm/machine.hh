@@ -1,6 +1,9 @@
-// The Machine: a fixed-size set of ranks executing an SPMD function on
-// threads, exchanging messages through per-rank mailboxes under a shared
-// CostModel.
+// The Machine: a fixed-size set of ranks executing an SPMD function,
+// exchanging messages through per-rank mailboxes under a shared CostModel.
+// Two execution engines run the ranks (EngineConfig / WAVEPIPE_ENGINE):
+// cooperative fibers on the calling thread (the default — no locks, no
+// kernel scheduling, deterministic earliest-vtime-first switching) or one
+// OS thread per rank. Both produce identical results; see DESIGN.md §9.
 //
 // With CostModel{} (all costs zero) this is a plain in-process
 // message-passing runtime whose wall-clock behaviour is whatever the host
@@ -16,6 +19,7 @@
 
 #include "comm/communicator.hh"
 #include "comm/cost_model.hh"
+#include "comm/fiber.hh"
 #include "comm/mailbox.hh"
 #include "comm/trace.hh"
 
@@ -46,10 +50,15 @@ struct RunResult {
 /// An SPMD machine of `size` ranks.
 class Machine {
  public:
-  /// The default TraceConfig comes from the environment (WAVEPIPE_TRACE),
-  /// so existing callers stay trace-free unless the user opts in.
+  /// The default TraceConfig and EngineConfig come from the environment
+  /// (WAVEPIPE_TRACE*, WAVEPIPE_ENGINE, WAVEPIPE_FIBER_STACK), so existing
+  /// callers stay trace-free and pick up the default engine unless they opt
+  /// in explicitly. An EngineConfig asking for fibers on a platform without
+  /// the context API falls back to threads with a logged warning; fiber
+  /// stacks are clamped up to EngineConfig::kMinStackBytes.
   explicit Machine(int size, CostModel costs = {},
-                   TraceConfig trace = TraceConfig::from_env());
+                   TraceConfig trace = TraceConfig::from_env(),
+                   EngineConfig engine = EngineConfig::from_env());
   ~Machine();
 
   Machine(const Machine&) = delete;
@@ -58,6 +67,10 @@ class Machine {
   int size() const { return size_; }
   const CostModel& costs() const { return costs_; }
   const TraceConfig& trace_config() const { return trace_; }
+
+  /// The engine this machine actually uses (after any platform fallback).
+  EngineKind engine() const { return engine_.kind; }
+  const EngineConfig& engine_config() const { return engine_; }
 
   /// Runs `fn(comm)` once on every rank and joins. Exceptions thrown by any
   /// rank poison the mailboxes (unblocking peers) and the first one is
@@ -73,15 +86,23 @@ class Machine {
   static RunResult run(int size, CostModel costs, TraceConfig trace,
                        const std::function<void(Communicator&)>& fn);
 
+  /// As above, with an explicit engine selection.
+  static RunResult run(int size, CostModel costs, EngineConfig engine,
+                       const std::function<void(Communicator&)>& fn);
+
   Mailbox& mailbox(int rank);
 
   /// Sum of messages still queued in all mailboxes (0 after a clean run).
   std::size_t pending_messages() const;
 
  private:
+  void run_threads(const std::function<void(int, FiberScheduler*)>& body);
+  void run_fibers(const std::function<void(int, FiberScheduler*)>& body);
+
   int size_;
   CostModel costs_;
   TraceConfig trace_;
+  EngineConfig engine_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 };
 

@@ -1,62 +1,86 @@
 #include "comm/mailbox.hh"
 
-#include <limits>
-
 #include "support/error.hh"
 
 namespace wavepipe {
 
-namespace {
-constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
-}  // namespace
+void Mailbox::throw_poisoned() const {
+  throw CommError("recv aborted: machine poisoned (" + poison_reason_ + ")");
+}
+
+std::optional<Message> Mailbox::pop_unlocked(int src, int tag) {
+  const auto it = queues_.find(key_of(src, tag));
+  if (it == queues_.end() || it->second.empty()) return std::nullopt;
+  Message out = std::move(it->second.front());
+  it->second.pop_front();
+  --pending_;
+  return out;
+}
+
+bool Mailbox::probe_unlocked(int src, int tag) const {
+  const auto it = queues_.find(key_of(src, tag));
+  return it != queues_.end() && !it->second.empty();
+}
 
 void Mailbox::deposit(Message m) {
+  if (blocker_) {
+    queues_[key_of(m.src, m.tag)].push_back(std::move(m));
+    ++pending_;
+    blocker_->notify(*this);
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(m));
+    queues_[key_of(m.src, m.tag)].push_back(std::move(m));
+    ++pending_;
   }
   cv_.notify_all();
 }
 
-std::size_t Mailbox::find_locked(int src, int tag) const {
-  for (std::size_t i = 0; i < queue_.size(); ++i) {
-    if (queue_[i].src == src && queue_[i].tag == tag) return i;
-  }
-  return kNpos;
-}
-
 Message Mailbox::await(int src, int tag) {
+  if (blocker_) {
+    for (;;) {
+      if (poisoned_) throw_poisoned();
+      if (auto m = pop_unlocked(src, tag)) return std::move(*m);
+      blocker_->block(*this);
+    }
+  }
   std::unique_lock<std::mutex> lock(mutex_);
-  std::size_t at = kNpos;
+  std::optional<Message> out;
   cv_.wait(lock, [&] {
     if (poisoned_) return true;
-    at = find_locked(src, tag);
-    return at != kNpos;
+    out = pop_unlocked(src, tag);
+    return out.has_value();
   });
-  if (poisoned_)
-    throw CommError("recv aborted: machine poisoned (" + poison_reason_ + ")");
-  Message out = std::move(queue_[at]);
-  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(at));
-  return out;
+  if (poisoned_ && !out) throw_poisoned();
+  return std::move(*out);
 }
 
 std::optional<Message> Mailbox::try_match(int src, int tag) {
+  if (blocker_) {
+    if (poisoned_) throw_poisoned();
+    return pop_unlocked(src, tag);
+  }
   std::lock_guard<std::mutex> lock(mutex_);
-  if (poisoned_)
-    throw CommError("recv aborted: machine poisoned (" + poison_reason_ + ")");
-  const std::size_t at = find_locked(src, tag);
-  if (at == kNpos) return std::nullopt;
-  Message out = std::move(queue_[at]);
-  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(at));
-  return out;
+  if (poisoned_) throw_poisoned();
+  return pop_unlocked(src, tag);
 }
 
 bool Mailbox::probe(int src, int tag) {
+  if (blocker_) return probe_unlocked(src, tag);
   std::lock_guard<std::mutex> lock(mutex_);
-  return find_locked(src, tag) != kNpos;
+  return probe_unlocked(src, tag);
 }
 
 void Mailbox::poison(const std::string& why) {
+  if (blocker_) {
+    if (!poisoned_) {
+      poisoned_ = true;
+      poison_reason_ = why;
+    }
+    blocker_->notify(*this);
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!poisoned_) {
@@ -68,8 +92,9 @@ void Mailbox::poison(const std::string& why) {
 }
 
 std::size_t Mailbox::pending() const {
+  if (blocker_) return pending_;
   std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+  return pending_;
 }
 
 }  // namespace wavepipe

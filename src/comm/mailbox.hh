@@ -3,23 +3,53 @@
 // Sends never block (buffered semantics); receives block until a message
 // matching (src, tag) is available. Matching is FIFO per (src, tag) pair,
 // which is the ordering guarantee MPI gives for a (source, tag, comm)
-// triple. A poisoned mailbox (peer rank failed) wakes all waiters with an
+// triple — implemented as one FIFO queue per (src, tag) key, so matching
+// and probing are O(1) regardless of how many unrelated messages are
+// pending. A poisoned mailbox (peer rank failed) wakes all waiters with an
 // error so the whole machine tears down instead of deadlocking.
+//
+// Engine-policy seam: under the threaded engine every operation locks a
+// mutex and blocked receives wait on a condition variable. When a
+// cooperative scheduler is attached (set_blocker), all ranks share one OS
+// thread, so the mailbox skips locking entirely and a blocked receive
+// yields to the scheduler (MailboxBlocker::block) until a deposit or
+// poison notifies it.
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "comm/message.hh"
 
 namespace wavepipe {
 
+class Mailbox;
+
+/// The blocking policy a cooperative engine plugs into a Machine's
+/// mailboxes for the duration of one run.
+class MailboxBlocker {
+ public:
+  virtual ~MailboxBlocker() = default;
+
+  /// Called by the owning rank when no matching message is queued; must
+  /// return once a new deposit or poison may have changed that. May throw
+  /// (e.g. EngineError on imminent stack overflow); the exception
+  /// propagates out of the receive path on the calling rank.
+  virtual void block(Mailbox& mb) = 0;
+
+  /// Called after every deposit or poison so a blocked owner becomes
+  /// runnable again. Must not switch away from the caller.
+  virtual void notify(Mailbox& mb) = 0;
+};
+
 class Mailbox {
  public:
-  /// Enqueues a message (called from the sending rank's thread).
+  /// Enqueues a message (called from the sending rank).
   void deposit(Message m);
 
   /// Blocks until a message from `src` with `tag` arrives, then removes and
@@ -41,13 +71,34 @@ class Mailbox {
   /// tests that assert no stragglers.
   std::size_t pending() const;
 
+  /// Attaches (or with nullptr detaches) a cooperative engine. While
+  /// attached the mailbox is single-threaded by contract and takes no
+  /// locks. A Machine attaches for the duration of one fiber-engine run.
+  void set_blocker(MailboxBlocker* blocker) { blocker_ = blocker; }
+
  private:
-  // Must hold mutex_. Returns iterator-like index into queue_ or npos.
-  std::size_t find_locked(int src, int tag) const;
+  // (src, tag) packed into one key; src and tag are both ints (tags may be
+  // negative for collectives), so the pair is lossless in 64 bits.
+  static std::uint64_t key_of(int src, int tag) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+            << 32) |
+           static_cast<std::uint32_t>(tag);
+  }
+
+  // The unlocked core operations; the threaded paths call them under
+  // mutex_, the cooperative paths call them directly.
+  std::optional<Message> pop_unlocked(int src, int tag);
+  bool probe_unlocked(int src, int tag) const;
+  [[noreturn]] void throw_poisoned() const;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<Message> queue_;
+  // Per-(src, tag) FIFO queues. Drained queues stay in the map (the key
+  // space a machine sees is small and reused), so steady-state traffic
+  // allocates nothing here beyond the messages themselves.
+  std::unordered_map<std::uint64_t, std::deque<Message>> queues_;
+  std::size_t pending_ = 0;
+  MailboxBlocker* blocker_ = nullptr;
   bool poisoned_ = false;
   std::string poison_reason_;
 };

@@ -1,11 +1,43 @@
 // In-flight message representation for the wavepipe runtime.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <span>
 #include <vector>
 
 namespace wavepipe {
+
+/// Message payload with inline storage for small transfers. The pipelined
+/// hot path sends O(b) boundary-face messages — often just a few bytes —
+/// and a heap allocation per message is measurable next to the fiber
+/// engine's ~25 ns context switch, so payloads up to kInlineBytes live
+/// inside the Message itself; larger ones fall back to the heap.
+class MessagePayload {
+ public:
+  static constexpr std::size_t kInlineBytes = 64;
+
+  void assign(std::span<const std::byte> bytes) {
+    size_ = bytes.size();
+    if (size_ == 0) return;
+    if (size_ <= kInlineBytes)
+      std::memcpy(inline_.data(), bytes.data(), size_);
+    else
+      heap_.assign(bytes.begin(), bytes.end());
+  }
+
+  const std::byte* data() const {
+    return size_ <= kInlineBytes ? inline_.data() : heap_.data();
+  }
+  std::size_t size() const { return size_; }
+
+ private:
+  std::array<std::byte, kInlineBytes> inline_;
+  std::vector<std::byte> heap_;
+  std::size_t size_ = 0;
+};
 
 /// A matched unit of communication. Payloads are raw bytes; the typed
 /// send/recv wrappers in Communicator handle (de)serialization of trivially
@@ -16,7 +48,7 @@ struct Message {
   /// Element count as seen by the sender (for cost accounting and receiver
   /// size checking, independent of element width).
   std::size_t elements = 0;
-  std::vector<std::byte> payload;
+  MessagePayload payload;
   /// Virtual time at which the message is available at the receiver
   /// (sender clock at send + alpha + beta*elements). 0 in wall-clock mode.
   double arrival_vtime = 0.0;

@@ -17,6 +17,8 @@ struct CommStats {
   std::uint64_t bytes_received = 0;
   std::uint64_t collectives = 0;
 
+  friend bool operator==(const CommStats&, const CommStats&) = default;
+
   CommStats& operator+=(const CommStats& o) {
     messages_sent += o.messages_sent;
     elements_sent += o.elements_sent;

@@ -58,6 +58,9 @@ struct PhaseBreakdown {
 
   double total() const { return t_comp + t_comm + t_wait; }
 
+  friend bool operator==(const PhaseBreakdown&, const PhaseBreakdown&) =
+      default;
+
   PhaseBreakdown& operator+=(const PhaseBreakdown& o) {
     t_comp += o.t_comp;
     t_comm += o.t_comm;

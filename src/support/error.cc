@@ -23,9 +23,19 @@ void require(bool ok, const std::string& what, std::source_location loc) {
   if (!ok) throw ContractError(what, loc);
 }
 
+void require(bool ok, const char* what, std::source_location loc) {
+  if (!ok) throw ContractError(std::string(what), loc);
+}
+
 void internal_check(bool ok, const std::string& what,
                     std::source_location loc) {
   if (!ok) throw ContractError("internal error (wavepipe bug): " + what, loc);
+}
+
+void internal_check(bool ok, const char* what, std::source_location loc) {
+  if (!ok)
+    throw ContractError("internal error (wavepipe bug): " + std::string(what),
+                        loc);
 }
 
 }  // namespace wavepipe

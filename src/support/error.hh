@@ -50,14 +50,33 @@ class ConfigError : public Error {
   explicit ConfigError(const std::string& what) : Error(what) {}
 };
 
+/// A failure of the execution engine itself rather than of the program it
+/// runs: a fiber stack overflow, a communication deadlock the cooperative
+/// scheduler detected, or a platform without the required context API.
+class EngineError : public Error {
+ public:
+  explicit EngineError(const std::string& what) : Error(what) {}
+};
+
 /// Throws ContractError if `ok` is false. `what` should state the violated
 /// condition in the caller's vocabulary.
 void require(bool ok, const std::string& what,
              std::source_location loc = std::source_location::current());
 
+/// Overload for string literals — the overwhelmingly common case. Keeps the
+/// passing check free of any std::string construction (which shows up per
+/// message on the communication hot path); the message is materialized only
+/// on failure.
+void require(bool ok, const char* what,
+             std::source_location loc = std::source_location::current());
+
 /// Like require(), but for conditions that indicate a wavepipe bug rather
 /// than caller misuse; the message is prefixed accordingly.
 void internal_check(bool ok, const std::string& what,
+                    std::source_location loc = std::source_location::current());
+
+/// Literal overload of internal_check(); same rationale as for require().
+void internal_check(bool ok, const char* what,
                     std::source_location loc = std::source_location::current());
 
 }  // namespace wavepipe

@@ -8,6 +8,7 @@
 
 #include "comm/machine.hh"
 #include "support/rng.hh"
+#include "support/timer.hh"
 
 namespace wavepipe {
 namespace {
@@ -88,6 +89,33 @@ TEST(Stress, MachineSurvivesHundredsOfRuns) {
     });
     ASSERT_EQ(m.pending_messages(), 0u);
   }
+}
+
+TEST(Stress, ManyPendingMessagesDrainFast) {
+  // Regression for O(pending) matching: with tens of thousands of queued
+  // messages on another (src, tag) key, receiving must stay O(1) per
+  // message. The old single-deque mailbox scanned (and middle-erased) the
+  // whole backlog per recv — roughly 8e8 Message moves for this workload,
+  // i.e. tens of seconds; the keyed mailbox does it in milliseconds.
+  const int bulk = 40000;    // backlog on tag 0
+  const int probed = 20000;  // messages drained on tag 1, backlog in queue
+  Timer t;
+  Machine::run(2, {}, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < bulk; ++i) comm.send_value(1, i, 0);
+      for (int i = 0; i < probed; ++i) comm.send_value(1, i, 1);
+      comm.barrier();  // the receiver starts with the full backlog queued
+    } else {
+      comm.barrier();
+      long long sum = 0;
+      for (int i = 0; i < probed; ++i) sum += comm.recv_value<int>(0, 1);
+      EXPECT_EQ(sum, static_cast<long long>(probed) * (probed - 1) / 2);
+      for (int i = 0; i < bulk; ++i)
+        EXPECT_EQ(comm.recv_value<int>(0, 0), i);  // FIFO per key preserved
+    }
+  });
+  // Generous bound: even a slow CI box finishes in well under a second.
+  EXPECT_LT(t.seconds(), 2.0);
 }
 
 TEST(Stress, LargePayloadIntegrity) {

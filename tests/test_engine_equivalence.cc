@@ -1,0 +1,257 @@
+// Cross-engine equivalence: the cooperative-fiber engine must be
+// observationally identical to the threaded engine — same computed data,
+// same RunResult (vtime, phases, stats), and byte-identical Chrome traces.
+// Virtual times, stats, and trace stamps depend only on per-rank program
+// order and sender-computed arrival stamps, so this holds by construction;
+// these tests pin it down against regressions in either engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "apps/tomcatv.hh"
+#include "array/io.hh"
+#include "exec/pipelined.hh"
+#include "model/machines.hh"
+
+namespace wavepipe {
+namespace {
+
+EngineConfig engine(EngineKind kind) {
+  EngineConfig cfg;
+  cfg.kind = kind;
+  return cfg;
+}
+
+// Runs fn under one engine and returns the result plus a checksum the rank
+// bodies may fill in (gathered data, residuals, ...).
+struct EngineRun {
+  RunResult result;
+  std::vector<double> extracted;
+};
+
+template <typename Fn>
+EngineRun run_engine(EngineKind kind, int p, CostModel cm, TraceConfig tc,
+                     Fn&& fn) {
+  EngineRun out;
+  Machine m(p, cm, tc, engine(kind));
+  EXPECT_EQ(m.engine(), kind);  // no silent fallback on this platform
+  out.result = m.run([&](Communicator& comm) { fn(comm, out.extracted); });
+  return out;
+}
+
+void expect_equivalent(const EngineRun& th, const EngineRun& fi) {
+  EXPECT_EQ(th.result.vtime, fi.result.vtime);
+  EXPECT_EQ(th.result.vtime_max, fi.result.vtime_max);
+  EXPECT_EQ(th.result.stats.size(), fi.result.stats.size());
+  for (std::size_t r = 0; r < th.result.stats.size(); ++r)
+    EXPECT_EQ(th.result.stats[r], fi.result.stats[r]) << "stats rank " << r;
+  EXPECT_EQ(th.result.total, fi.result.total);
+  for (std::size_t r = 0; r < th.result.phases.size(); ++r)
+    EXPECT_EQ(th.result.phases[r], fi.result.phases[r]) << "phases rank " << r;
+  EXPECT_EQ(th.result.phases_total, fi.result.phases_total);
+  EXPECT_EQ(th.extracted, fi.extracted);
+
+  ASSERT_EQ(th.result.traces.size(), fi.result.traces.size());
+  for (std::size_t r = 0; r < th.result.traces.size(); ++r) {
+    EXPECT_EQ(th.result.traces[r].dropped, fi.result.traces[r].dropped);
+    EXPECT_EQ(th.result.traces[r].events, fi.result.traces[r].events)
+        << "trace rank " << r;
+  }
+  std::ostringstream a, b;
+  write_chrome_trace(a, th.result);
+  write_chrome_trace(b, fi.result);
+  EXPECT_EQ(a.str(), b.str());  // byte-identical export
+}
+
+template <typename Fn>
+void compare_engines(int p, CostModel cm, Fn&& fn) {
+  TraceConfig tc;
+  tc.enabled = true;
+  const auto th = run_engine(EngineKind::kThreads, p, cm, tc, fn);
+  const auto fi = run_engine(EngineKind::kFibers, p, cm, tc, fn);
+  expect_equivalent(th, fi);
+}
+
+TEST(EngineEquivalence, PropertyWavefrontSweep) {
+  // The distributed-executor property workload: a primed wavefront
+  // statement over a block layout, pipelined at several block sizes and
+  // machine widths; gathered results and full RunResults must agree.
+  const std::vector<std::vector<Direction<2>>> dir_sets = {
+      {Direction<2>{{-1, 0}}},
+      {Direction<2>{{-1, 0}}, Direction<2>{{-1, -1}}},
+      {Direction<2>{{1, 1}}, Direction<2>{{1, 0}}},
+  };
+  CostModel cm;
+  cm.alpha = 17.0;
+  cm.beta = 0.5;
+  for (std::size_t di = 0; di < dir_sets.size(); ++di) {
+    const auto& dirs = dir_sets[di];
+    for (int p : {2, 4}) {
+      for (Coord block : {1, 3}) {
+        const Coord n = 18;
+        Coord halo0 = 1, halo1 = 1;
+        for (const auto& d : dirs) {
+          halo0 = std::max(halo0, std::abs(d.v[0]));
+          halo1 = std::max(halo1, std::abs(d.v[1]));
+        }
+        const Region<2> global({{1, 1}}, {{n, n}});
+        const Region<2> reg({{1 + halo0, 1 + halo1}}, {{n - halo0, n - halo1}});
+        const ProcGrid<2> grid = ProcGrid<2>::along_dim(p, 0);
+
+        auto body = [&](Communicator& comm, std::vector<double>& extracted) {
+          const Layout<2> layout(global, grid, Idx<2>{{halo0, halo1}});
+          DistArray<Real, 2> u("u", layout, comm.rank());
+          DistArray<Real, 2> v("v", layout, comm.rank());
+          u.local().fill_fn([](const Idx<2>& i) {
+            return 0.5 + 0.25 * std::sin(0.37 * static_cast<Real>(i.v[0])) *
+                             std::cos(0.23 * static_cast<Real>(i.v[1]));
+          });
+          v.local().fill_fn([](const Idx<2>& i) {
+            return 0.1 * static_cast<Real>((i.v[0] + 2 * i.v[1]) % 7);
+          });
+          auto plan =
+              dirs.size() == 1
+                  ? scan(reg, u.local() <<= 0.3 + 0.45 * prime(u.local(), dirs[0]) +
+                                           0.1 * v.local())
+                        .compile()
+                  : scan(reg, u.local() <<= 0.3 + 0.3 * prime(u.local(), dirs[0]) +
+                                           0.25 * prime(u.local(), dirs[1]) +
+                                           0.1 * v.local())
+                        .compile();
+          WaveOptions opts;
+          opts.block = block;
+          run_wavefront(plan, layout, comm, opts);
+          auto g = gather_to_root(u, comm);
+          if (comm.rank() == 0)
+            for_each(global,
+                     [&](const Idx<2>& i) { extracted.push_back((*g)(i)); });
+        };
+        SCOPED_TRACE("dirs#" + std::to_string(di) + " p=" + std::to_string(p) +
+                     " b=" + std::to_string(block));
+        compare_engines(p, cm, body);
+      }
+    }
+  }
+}
+
+TEST(EngineEquivalence, TracedTomcatvWave) {
+  // A full traced Tomcatv solve (both wavefronts, stencils, collectives)
+  // under the paper's T3E calibration.
+  const CostModel cm = t3e_like().costs;
+  for (int p : {4, 8}) {
+    TomcatvConfig cfg;
+    cfg.n = 40;
+    cfg.iterations = 2;
+    const ProcGrid<2> grid = ProcGrid<2>::along_dim(p, 0);
+    auto body = [&](Communicator& comm, std::vector<double>& extracted) {
+      WaveOptions opts;
+      opts.block = 3;
+      const Real residual = tomcatv_spmd(comm, cfg, grid, opts);
+      if (comm.rank() == 0) extracted.push_back(residual);
+    };
+    SCOPED_TRACE("p=" + std::to_string(p));
+    compare_engines(p, cm, body);
+  }
+}
+
+TEST(EngineEquivalence, CollectiveAndP2PStorm) {
+  // Interleaved ring traffic, reductions, gathers and barriers on a
+  // non-power-of-two machine.
+  CostModel cm;
+  cm.alpha = 5.0;
+  cm.beta = 0.25;
+  auto body = [](Communicator& comm, std::vector<double>& extracted) {
+    const int p = comm.size();
+    const int me = comm.rank();
+    const int next = (me + 1) % p;
+    const int prev = (me + p - 1) % p;
+    std::int64_t acc = me;
+    for (int round = 0; round < 12; ++round) {
+      comm.send_value(next, acc, 11);
+      acc = comm.recv_value<std::int64_t>(prev, 11);
+      acc += comm.allreduce_sum(std::int64_t{1});
+      if (round % 3 == 2) comm.barrier();
+      const double mine = static_cast<double>(me * 100 + round);
+      auto all = comm.gather(std::span<const double>(&mine, 1));
+      if (me == 0 && round == 11)
+        extracted.insert(extracted.end(), all.begin(), all.end());
+    }
+    comm.compute(static_cast<double>(me + 1));
+  };
+  for (int p : {5, 8}) {
+    SCOPED_TRACE("p=" + std::to_string(p));
+    compare_engines(p, cm, body);
+  }
+}
+
+TEST(EngineEquivalence, ExceptionPropagation) {
+  // A rank failure must poison the machine and rethrow the original
+  // exception under both engines.
+  for (EngineKind kind : {EngineKind::kThreads, EngineKind::kFibers}) {
+    Machine m(3, {}, TraceConfig{}, engine(kind));
+    EXPECT_THROW(m.run([](Communicator& comm) {
+                   if (comm.rank() == 2)
+                     throw ConfigError("rank 2 exploded");
+                   (void)comm.recv_value<int>(2);
+                 }),
+                 ConfigError)
+        << to_string(kind);
+    EXPECT_EQ(m.pending_messages(), 0u) << to_string(kind);
+  }
+}
+
+TEST(EngineEquivalence, FiberMachineIsReusable) {
+  Machine m(3, {}, TraceConfig{}, engine(EngineKind::kFibers));
+  for (int round = 0; round < 4; ++round) {
+    auto res = m.run([round](Communicator& comm) {
+      const int next = (comm.rank() + 1) % comm.size();
+      const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+      comm.send_value(next, comm.rank() * 100 + round);
+      EXPECT_EQ(comm.recv_value<int>(prev), prev * 100 + round);
+    });
+    EXPECT_EQ(res.total.messages_sent, 3u);
+    EXPECT_EQ(m.pending_messages(), 0u);
+  }
+}
+
+TEST(EngineEquivalence, ProbeAndTryMatchUnderFibers) {
+  Machine m(2, {}, TraceConfig{}, engine(EngineKind::kFibers));
+  m.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 5, 7);
+      comm.barrier();
+    } else {
+      comm.barrier();  // after this the message is certainly queued
+      EXPECT_TRUE(comm.probe(0, 7));
+      EXPECT_FALSE(comm.probe(0, 8));
+      EXPECT_EQ(comm.recv_value<int>(0, 7), 5);
+      EXPECT_FALSE(comm.probe(0, 7));
+    }
+  });
+}
+
+TEST(EngineEquivalence, FiberSchedulingIsDeterministic) {
+  // Two identical fiber runs must yield byte-identical traces — the
+  // scheduler has no randomness and no dependence on host timing.
+  TraceConfig tc;
+  tc.enabled = true;
+  CostModel cm;
+  cm.alpha = 9.0;
+  cm.beta = 1.0;
+  auto body = [](Communicator& comm, std::vector<double>&) {
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    for (int i = 0; i < 10; ++i) {
+      comm.compute(static_cast<double>(comm.rank() + 1));
+      comm.send_value(next, i);
+      (void)comm.recv_value<int>(prev);
+    }
+  };
+  const auto a = run_engine(EngineKind::kFibers, 6, cm, tc, body);
+  const auto b = run_engine(EngineKind::kFibers, 6, cm, tc, body);
+  expect_equivalent(a, b);
+}
+
+}  // namespace
+}  // namespace wavepipe
