@@ -1,5 +1,6 @@
 #include "comm/communicator.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "comm/machine.hh"
@@ -9,6 +10,12 @@ namespace wavepipe {
 Communicator::Communicator(Machine& machine, int rank)
     : machine_(machine), rank_(rank), tracer_(machine.trace_config()) {
   require(rank >= 0 && rank < machine.size(), "communicator rank out of range");
+}
+
+Communicator::~Communicator() {
+  for (auto& s : requests_)
+    if (s.kind == RequestState::Kind::kRecv && !s.posted.done())
+      machine_.mailbox(rank_).cancel_recv(s.posted);
 }
 
 int Communicator::size() const { return machine_.size(); }
@@ -37,7 +44,13 @@ void Communicator::send_bytes(int dst, int tag,
   m.payload.assign(payload);
   const double t0 = vtime_;
   if (cm.occupy_sender) {
-    vtime_ += cm.message_cost(elements);
+    // The send engine is serialized: if earlier isends left it busy past
+    // the clock, this blocking send queues behind them. With no isends in
+    // flight send_engine_free_ <= vtime_, so this is vtime_ + cost exactly
+    // as before the request layer existed.
+    const double start = std::max(vtime_, send_engine_free_);
+    vtime_ = start + cm.message_cost(elements);
+    send_engine_free_ = vtime_;
     m.arrival_vtime = vtime_;
   } else {
     m.arrival_vtime = vtime_ + cm.message_cost(elements);
@@ -53,12 +66,9 @@ void Communicator::send_bytes(int dst, int tag,
   machine_.mailbox(dst).deposit(std::move(m));
 }
 
-void Communicator::recv_bytes(int src, int tag, std::span<std::byte> out,
-                              std::size_t expected_elements) {
-  require(src >= 0 && src < machine_.size(), "recv source out of range");
-  require(src != rank_, "a rank may not receive from itself");
-
-  Message m = machine_.mailbox(rank_).await(src, tag);
+void Communicator::complete_recv(const Message& m, std::span<std::byte> out,
+                                 std::size_t expected_elements, int src,
+                                 int tag) {
   if (m.elements != expected_elements || m.payload.size() != out.size()) {
     throw CommError("message size mismatch: rank " + std::to_string(rank_) +
                     " expected " + std::to_string(expected_elements) +
@@ -83,9 +93,225 @@ void Communicator::recv_bytes(int src, int tag, std::span<std::byte> out,
   stats_.bytes_received += m.payload.size();
 }
 
+void Communicator::recv_bytes(int src, int tag, std::span<std::byte> out,
+                              std::size_t expected_elements) {
+  require(src >= 0 && src < machine_.size(), "recv source out of range");
+  require(src != rank_, "a rank may not receive from itself");
+
+  Message m = machine_.mailbox(rank_).await(src, tag);
+  complete_recv(m, out, expected_elements, src, tag);
+}
+
 bool Communicator::probe(int src, int tag) {
   require(src >= 0 && src < machine_.size(), "probe source out of range");
   return machine_.mailbox(rank_).probe(src, tag);
+}
+
+// ---- nonblocking request layer ----
+
+std::size_t Communicator::alloc_slot() {
+  if (!free_slots_.empty()) {
+    const std::size_t idx = free_slots_.back();
+    free_slots_.pop_back();
+    RequestState& s = requests_[idx];
+    s.peer = -1;
+    s.tag = 0;
+    s.expected_elements = 0;
+    s.out = {};
+    s.complete_vtime = 0.0;
+    s.posted.completed.store(false, std::memory_order_relaxed);
+    s.posted.msg = Message{};
+    return idx;
+  }
+  requests_.emplace_back();
+  return requests_.size() - 1;
+}
+
+Communicator::RequestState& Communicator::resolve(const Request& r) {
+  const std::size_t idx =
+      static_cast<std::size_t>(r.id_ & 0xffffffffu);
+  const std::uint32_t gen = static_cast<std::uint32_t>(r.id_ >> 32);
+  if (idx == 0 || idx > requests_.size())
+    throw CommError("invalid request handle");
+  RequestState& s = requests_[idx - 1];
+  if (s.gen != gen || s.kind == RequestState::Kind::kNone)
+    throw CommError("stale request handle (slot already completed)");
+  return s;
+}
+
+void Communicator::release(Request& r, RequestState& s) {
+  s.kind = RequestState::Kind::kNone;
+  ++s.gen;  // any copy of this handle is now detectably stale
+  free_slots_.push_back(static_cast<std::size_t>(r.id_ & 0xffffffffu) - 1);
+  r.id_ = 0;
+}
+
+Request Communicator::isend_bytes(int dst, int tag,
+                                  std::span<const std::byte> payload,
+                                  std::size_t elements) {
+  require(dst >= 0 && dst < machine_.size(), "isend destination out of range");
+  require(dst != rank_, "a rank may not send to itself");
+
+  const CostModel& cm = machine_.costs();
+  const std::size_t idx = alloc_slot();
+  RequestState& s = requests_[idx];
+  s.kind = RequestState::Kind::kSend;
+  s.peer = dst;
+  s.tag = tag;
+  s.expected_elements = elements;
+
+  Message m;
+  m.src = rank_;
+  m.tag = tag;
+  m.elements = elements;
+  m.payload.assign(payload);
+  const double t0 = vtime_;
+  if (cm.occupy_sender) {
+    // No cpu-clock charge at post: the message occupies the serialized
+    // send engine instead. wait() settles the bill (t_comm) — so
+    // isend();wait() costs exactly what send() costs, and compute between
+    // the two overlaps with the engine draining.
+    const double start = std::max(vtime_, send_engine_free_);
+    send_engine_free_ = start + cm.message_cost(elements);
+    m.arrival_vtime = send_engine_free_;
+    s.complete_vtime = send_engine_free_;
+  } else {
+    m.arrival_vtime = vtime_ + cm.message_cost(elements);
+    vtime_ += cm.send_overhead;
+    phases_.t_comm += vtime_ - t0;
+    s.complete_vtime = vtime_;
+  }
+  tracer_.record(TraceEventType::kSendPost, t0, vtime_, dst, tag, elements);
+
+  ++stats_.messages_sent;
+  stats_.elements_sent += elements;
+  stats_.bytes_sent += payload.size();
+  ++stats_.isends;
+
+  machine_.mailbox(dst).deposit(std::move(m));
+  return Request((static_cast<std::uint64_t>(s.gen) << 32) |
+                 static_cast<std::uint64_t>(idx + 1));
+}
+
+Request Communicator::irecv_bytes(int src, int tag, std::span<std::byte> out,
+                                  std::size_t expected_elements) {
+  require(src >= 0 && src < machine_.size(), "irecv source out of range");
+  require(src != rank_, "a rank may not receive from itself");
+
+  const std::size_t idx = alloc_slot();
+  RequestState& s = requests_[idx];
+  s.kind = RequestState::Kind::kRecv;
+  s.peer = src;
+  s.tag = tag;
+  s.expected_elements = expected_elements;
+  s.out = out;
+  s.posted.src = src;
+  s.posted.tag = tag;
+  s.posted.what = "irecv";
+  machine_.mailbox(rank_).post_recv(s.posted);
+  tracer_.record(TraceEventType::kRecvPost, vtime_, vtime_, src, tag,
+                 expected_elements);
+  ++stats_.irecvs;
+  return Request((static_cast<std::uint64_t>(s.gen) << 32) |
+                 static_cast<std::uint64_t>(idx + 1));
+}
+
+void Communicator::complete_send(RequestState& s, bool allow_stall) {
+  if (s.complete_vtime > vtime_) {
+    internal_check(allow_stall, "test() completed a send before its time");
+    // The send engine is still draining: the wait stalls the cpu clock
+    // until it finishes. Communication cost, so t_comm — together with
+    // the zero charge at post this matches blocking send exactly.
+    phases_.t_comm += s.complete_vtime - vtime_;
+    tracer_.record(TraceEventType::kSendWait, vtime_, s.complete_vtime,
+                   s.peer, s.tag, s.expected_elements);
+    vtime_ = s.complete_vtime;
+  }
+  tracer_.record(TraceEventType::kSendComplete, vtime_, vtime_, s.peer, s.tag,
+                 s.expected_elements);
+}
+
+void Communicator::wait(Request& r) {
+  if (!r.valid()) return;
+  RequestState& s = resolve(r);
+  if (s.kind == RequestState::Kind::kSend) {
+    complete_send(s, /*allow_stall=*/true);
+  } else {
+    machine_.mailbox(rank_).await_completion(s.posted);
+    complete_recv(s.posted.msg, s.out, s.expected_elements, s.peer, s.tag);
+  }
+  release(r, s);
+}
+
+bool Communicator::test(Request& r) {
+  if (!r.valid()) return true;
+  RequestState& s = resolve(r);
+  if (s.kind == RequestState::Kind::kSend) {
+    if (s.complete_vtime > vtime_) return false;
+    complete_send(s, /*allow_stall=*/false);
+  } else {
+    if (!s.posted.done()) return false;
+    if (s.posted.msg.arrival_vtime > vtime_) return false;
+    complete_recv(s.posted.msg, s.out, s.expected_elements, s.peer, s.tag);
+  }
+  release(r, s);
+  return true;
+}
+
+void Communicator::wait_all(std::span<Request> rs) {
+  for (Request& r : rs) wait(r);
+}
+
+std::size_t Communicator::wait_any(std::span<Request> rs) {
+  // Gather the live candidates once; resolve() validates each handle.
+  std::vector<std::pair<std::size_t, RequestState*>> live;
+  live.reserve(rs.size());
+  for (std::size_t i = 0; i < rs.size(); ++i)
+    if (rs[i].valid()) live.emplace_back(i, &resolve(rs[i]));
+  if (live.empty())
+    throw CommError("wait_any: every request handle is invalid");
+
+  // Sends are physically complete at post, so this blocks only when every
+  // candidate is a not-yet-arrived receive; any deposit re-evaluates.
+  machine_.mailbox(rank_).await_until([&] {
+    for (const auto& [i, s] : live) {
+      (void)i;
+      if (s->kind == RequestState::Kind::kSend || s->posted.done())
+        return true;
+    }
+    return false;
+  });
+
+  // Deterministic pick among the physically complete: smallest completion
+  // vtime, index breaking ties (strict < keeps the lowest index).
+  std::size_t best = rs.size();
+  double best_t = 0.0;
+  RequestState* best_s = nullptr;
+  for (const auto& [i, s] : live) {
+    double t = 0.0;
+    if (s->kind == RequestState::Kind::kSend) {
+      t = s->complete_vtime;
+    } else if (s->posted.done()) {
+      t = s->posted.msg.arrival_vtime;
+    } else {
+      continue;
+    }
+    if (!best_s || t < best_t) {
+      best = i;
+      best_t = t;
+      best_s = s;
+    }
+  }
+  internal_check(best_s != nullptr, "wait_any woke with nothing complete");
+
+  if (best_s->kind == RequestState::Kind::kSend) {
+    complete_send(*best_s, /*allow_stall=*/true);
+  } else {
+    complete_recv(best_s->posted.msg, best_s->out, best_s->expected_elements,
+                  best_s->peer, best_s->tag);
+  }
+  release(rs[best], *best_s);
+  return best;
 }
 
 }  // namespace wavepipe

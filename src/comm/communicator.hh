@@ -13,15 +13,38 @@
 // recv() advances the receiver's clock to max(own, arrival). Because
 // arrival stamps depend only on program order, virtual times are
 // deterministic regardless of host thread scheduling.
+//
+// Nonblocking operations (isend/irecv + wait/test/wait_all/wait_any) obey
+// three virtual-time rules, chosen so that `isend(); wait()` costs exactly
+// what `send()` costs and `irecv(); wait()` exactly what `recv()` costs:
+//   1. Posting never advances the clock beyond what the blocking call
+//      charges up front (irecv: nothing; isend under occupy_sender:
+//      nothing — the message occupies the *send engine*, modeled by a
+//      NIC-free timestamp, not the cpu clock; isend under !occupy_sender:
+//      send_overhead, as blocking send does).
+//   2. wait() advances the clock to max(own, completion): for a recv the
+//      completion stamp is the message's arrival (stall charged t_wait);
+//      for a send it is when the serialized send engine drains (stall
+//      charged t_comm). Consecutive isends queue on the send engine, which
+//      is exactly how overlap wins: compute between post and wait runs
+//      while the engine drains.
+//   3. Completion stamps depend only on program order, so nonblocking
+//      virtual times are as deterministic as blocking ones under both
+//      engines. (test() and wait_any() additionally depend on *physical*
+//      arrival, which is deterministic under fibers and under threads only
+//      when arrival order is dependency-forced — the same caveat probe()
+//      carries.)
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <span>
 #include <type_traits>
 #include <vector>
 
 #include "comm/cost_model.hh"
 #include "comm/mailbox.hh"
+#include "comm/request.hh"
 #include "comm/stats.hh"
 #include "comm/trace.hh"
 #include "support/error.hh"
@@ -42,6 +65,10 @@ inline constexpr int kGatherData = -5;
 class Communicator {
  public:
   Communicator(Machine& machine, int rank);
+
+  /// Cancels any still-posted irecv slots so the mailbox holds no dangling
+  /// pointers when a rank unwinds with requests in flight (error paths).
+  ~Communicator();
 
   Communicator(const Communicator&) = delete;
   Communicator& operator=(const Communicator&) = delete;
@@ -105,6 +132,61 @@ class Communicator {
 
   /// True if a message from (src, tag) is already queued.
   bool probe(int src, int tag = 0);
+
+  // ---- nonblocking point-to-point ----
+
+  /// Starts a send to `dst` and returns a Request to wait on. The payload
+  /// is copied out immediately, so `data` may be reused as soon as isend
+  /// returns; the Request only settles the virtual-time bill (rule 2
+  /// above). Under occupy_sender the message queues on this rank's
+  /// serialized send engine without advancing the cpu clock.
+  template <typename T>
+  Request isend(int dst, std::span<const T> data, int tag = 0) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "wavepipe messages carry trivially copyable elements");
+    require(tag >= 0, "user message tags must be >= 0");
+    return isend_bytes(dst, tag, as_bytes(data), data.size());
+  }
+
+  /// Posts a receive of exactly out.size() elements from `src`. Never
+  /// advances the clock. `out` must stay valid and unresized until the
+  /// request completes (wait/test/wait_all/wait_any) — the completed
+  /// message is unpacked into it at that point. Posted receives match
+  /// sends FIFO per (src, tag), interleaving with blocking recv() calls in
+  /// posting order.
+  template <typename T>
+  Request irecv(int src, std::span<T> out, int tag = 0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require(tag >= 0, "user message tags must be >= 0");
+    return irecv_bytes(src, tag, as_writable_bytes(out), out.size());
+  }
+
+  /// Blocks until `r` completes, advances the clock to max(own,
+  /// completion), and consumes the handle (resets it to invalid). A wait
+  /// on an invalid handle is a no-op, so double-buffered loops need no
+  /// first-iteration special case.
+  void wait(Request& r);
+
+  /// Nonblocking completion check: true iff the operation has completed
+  /// *by this rank's current virtual time* (and, for a recv, the message
+  /// has physically arrived). On success the handle is consumed and the
+  /// operation finalized without any clock advance; on failure the handle
+  /// stays valid. True for an invalid handle (MPI's inactive-request
+  /// convention).
+  bool test(Request& r);
+
+  /// Waits for every request in order (index 0 first). Equivalent to
+  /// calling wait() on each in sequence; the index order makes the phase
+  /// accounting deterministic.
+  void wait_all(std::span<Request> rs);
+
+  /// Blocks until at least one request is physically complete, then
+  /// finalizes and consumes the one with the smallest (completion vtime,
+  /// index) among the physically complete — a deterministic tie-break —
+  /// and returns its index. Invalid handles are skipped; throws CommError
+  /// if every handle is invalid. See rule 3 for the determinism caveat
+  /// under the threaded engine.
+  std::size_t wait_any(std::span<Request> rs);
 
   // ---- collectives (binomial trees over point-to-point) ----
 
@@ -204,6 +286,37 @@ class Communicator {
                   std::size_t elements);
   void recv_bytes(int src, int tag, std::span<std::byte> out,
                   std::size_t expected_elements);
+  Request isend_bytes(int dst, int tag, std::span<const std::byte> payload,
+                      std::size_t elements);
+  Request irecv_bytes(int src, int tag, std::span<std::byte> out,
+                      std::size_t expected_elements);
+
+  /// One pending nonblocking operation. Slots live in a deque (stable
+  /// addresses — the mailbox keeps a pointer to `posted` while a recv is
+  /// pending) and are recycled through free_slots_; `gen` bumps on every
+  /// release so stale Request handles are detected, not misdelivered.
+  struct RequestState {
+    enum class Kind : std::uint8_t { kNone, kSend, kRecv };
+    Kind kind = Kind::kNone;
+    std::uint32_t gen = 1;
+    int peer = -1;
+    int tag = 0;
+    std::size_t expected_elements = 0;
+    std::span<std::byte> out{};   // recv destination (caller-owned)
+    double complete_vtime = 0.0;  // send: when the send engine drains
+    PostedRecv posted;            // recv: the mailbox-facing slot
+  };
+
+  std::size_t alloc_slot();
+  RequestState& resolve(const Request& r);
+  void release(Request& r, RequestState& s);
+  /// Shared finalization of a matched receive: size check, unpack, stall
+  /// accounting (t_wait + kRecvWait/kRecvComplete), stats. Used by both
+  /// recv_bytes and request completion so blocking and nonblocking
+  /// receives are bit-identical in cost.
+  void complete_recv(const Message& m, std::span<std::byte> out,
+                     std::size_t expected_elements, int src, int tag);
+  void complete_send(RequestState& s, bool allow_stall);
 
   // Internal (negative-tag) variants used by collectives.
   template <typename T>
@@ -263,6 +376,13 @@ class Communicator {
   Machine& machine_;
   int rank_;
   double vtime_ = 0.0;
+  // When the serialized send engine (NIC) is free again, under
+  // occupy_sender. Blocking sends keep it equal to the clock, so programs
+  // that never isend see exactly the pre-request cost model; isends push
+  // it ahead of the clock, and the gap is the overlap window.
+  double send_engine_free_ = 0.0;
+  std::deque<RequestState> requests_;
+  std::vector<std::size_t> free_slots_;
   CommStats stats_;
   PhaseBreakdown phases_;
   Tracer tracer_;

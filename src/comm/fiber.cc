@@ -21,6 +21,30 @@
 #define WAVEPIPE_HAS_FIBERS 0
 #endif
 
+// AddressSanitizer tracks one stack per thread. Jumping between the
+// scheduler stack and an mmap-ed fiber stack without telling it corrupts
+// its shadow bookkeeping: the _longjmp interceptor's no-return handler
+// unpoisons the wrong range, stale redzone poison accumulates on fiber
+// stacks, and eventually an innocent stack write trips a false
+// stack-buffer-underflow inside the sanitizer runtime itself. The fix —
+// the same one QEMU's coroutines and boost.context use — is to bracket
+// every switch with __sanitizer_{start,finish}_switch_fiber so ASan
+// retargets its stack bounds along with us. All of it compiles away in
+// non-sanitized builds.
+#if defined(__SANITIZE_ADDRESS__)
+#define WAVEPIPE_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define WAVEPIPE_ASAN_FIBERS 1
+#endif
+#endif
+#ifndef WAVEPIPE_ASAN_FIBERS
+#define WAVEPIPE_ASAN_FIBERS 0
+#endif
+#if WAVEPIPE_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace wavepipe {
 
 const char* to_string(EngineKind k) {
@@ -103,6 +127,9 @@ struct FiberScheduler::Impl {
     const double* vtime = nullptr;
     std::exception_ptr escaped;  // exception that escaped the body (if any)
     bool counted = false;
+#if WAVEPIPE_ASAN_FIBERS
+    void* fake_stack = nullptr;  // ASan fake-stack save slot while suspended
+#endif
   };
 
   int ranks;
@@ -121,6 +148,47 @@ struct FiberScheduler::Impl {
   }
 
   Fiber& at(int r) { return fibers[static_cast<std::size_t>(r)]; }
+
+  // ASan fiber-switch annotations (no-ops without ASan). Protocol: the
+  // suspending side calls start_switch_fiber naming the destination stack
+  // (saving its own fake stack, or destroying it on terminal exit), and the
+  // first thing run on the destination stack is finish_switch_fiber
+  // restoring that side's fake stack.
+#if WAVEPIPE_ASAN_FIBERS
+  unsigned char* main_stack_lo = nullptr;  // captured at first fiber entry
+  std::size_t main_stack_bytes = 0;
+  void* main_fake_stack = nullptr;
+
+  void asan_enter_fiber(Fiber& f) {  // on the scheduler stack, about to jump
+    __sanitizer_start_switch_fiber(&main_fake_stack, f.usable_lo,
+                                   f.usable_bytes);
+  }
+  void asan_finish_on_fiber(void* fake_stack) {  // first code on a fiber stack
+    const void* bottom = nullptr;
+    std::size_t size = 0;
+    __sanitizer_finish_switch_fiber(fake_stack, &bottom, &size);
+    if (!main_stack_lo) {  // the stack we came from is the scheduler's
+      main_stack_lo =
+          const_cast<unsigned char*>(static_cast<const unsigned char*>(bottom));
+      main_stack_bytes = size;
+    }
+  }
+  void asan_fiber_entered() { asan_finish_on_fiber(nullptr); }  // first entry
+  void asan_fiber_resumed(Fiber& f) { asan_finish_on_fiber(f.fake_stack); }
+  void asan_leave_fiber(Fiber& f, bool terminal) {  // on the fiber stack
+    __sanitizer_start_switch_fiber(terminal ? nullptr : &f.fake_stack,
+                                   main_stack_lo, main_stack_bytes);
+  }
+  void asan_main_entered() {  // back on the scheduler stack
+    __sanitizer_finish_switch_fiber(main_fake_stack, nullptr, nullptr);
+  }
+#else
+  void asan_enter_fiber(Fiber&) {}
+  void asan_fiber_entered() {}
+  void asan_fiber_resumed(Fiber&) {}
+  void asan_leave_fiber(Fiber&, bool) {}
+  void asan_main_entered() {}
+#endif
 
   void alloc_stack(Fiber& f) {
     const std::size_t page = page_size();
@@ -164,6 +232,7 @@ struct FiberScheduler::Impl {
   static void trampoline(unsigned int hi, unsigned int lo) {
     auto* self = reinterpret_cast<Impl*>(static_cast<std::uintptr_t>(
         (static_cast<std::uint64_t>(hi) << 32) | static_cast<std::uint64_t>(lo)));
+    self->asan_fiber_entered();  // first entry: no fake stack yet
     const int rank = self->current;
     Fiber& f = self->at(rank);
     try {
@@ -177,6 +246,7 @@ struct FiberScheduler::Impl {
     // Jump straight back to the scheduler loop's freshest resume point.
     // (Not uc_link: the ucontext snapshot of the main stack is stale after
     // the first switch, whereas main_jb is re-armed at every switch-in.)
+    self->asan_leave_fiber(f, /*terminal=*/true);
     _longjmp(self->main_jb, 1);
   }
 
@@ -189,6 +259,7 @@ struct FiberScheduler::Impl {
   /// which is what makes the jump (and -Wclobbered) safe.
   [[gnu::noinline]] void switch_into(Fiber& f) {
     if (_setjmp(main_jb) == 0) {
+      asan_enter_fiber(f);
       if (!f.started) {
         f.started = true;
         if (::swapcontext(&main_ctx, &f.ctx) != 0)
@@ -196,6 +267,8 @@ struct FiberScheduler::Impl {
       } else {
         _longjmp(f.jb, 1);
       }
+    } else {
+      asan_main_entered();
     }
   }
 
@@ -218,9 +291,16 @@ struct FiberScheduler::Impl {
   std::string blocked_ranks() const {
     std::string s;
     for (int r = 0; r < ranks; ++r) {
-      if (fibers[static_cast<std::size_t>(r)].state != State::kBlocked) continue;
+      const Fiber& f = fibers[static_cast<std::size_t>(r)];
+      if (f.state != State::kBlocked) continue;
       if (!s.empty()) s += ", ";
       s += std::to_string(r);
+      // Name the receives the rank is stuck on, so a deadlock report reads
+      // "ranks 0 [irecv(src=1, tag=5)], 1 [recv(src=0, tag=5)]".
+      if (f.waiting_on) {
+        const std::string reqs = f.waiting_on->posted_summary();
+        if (!reqs.empty()) s += " [" + reqs + "]";
+      }
     }
     return s;
   }
@@ -295,7 +375,12 @@ struct FiberScheduler::Impl {
     f.waiting_on = &mb;
     // Yield to the scheduler; it re-enters through f.jb when this rank is
     // picked again.
-    if (_setjmp(f.jb) == 0) _longjmp(main_jb, 1);
+    if (_setjmp(f.jb) == 0) {
+      asan_leave_fiber(f, /*terminal=*/false);
+      _longjmp(main_jb, 1);
+    } else {
+      asan_fiber_resumed(f);
+    }
   }
 
   void notify(Mailbox& mb) {

@@ -1,5 +1,8 @@
 #include "comm/mailbox.hh"
 
+#include <algorithm>
+#include <vector>
+
 #include "support/error.hh"
 
 namespace wavepipe {
@@ -22,38 +25,142 @@ bool Mailbox::probe_unlocked(int src, int tag) const {
   return it != queues_.end() && !it->second.empty();
 }
 
+void Mailbox::complete(PostedRecv& slot, Message m) {
+  slot.msg = std::move(m);
+  slot.completed.store(true, std::memory_order_release);
+}
+
+void Mailbox::post_recv_unlocked(PostedRecv& slot) {
+  // Per key, at most one of {queued messages, waiting posted receives} is
+  // nonempty: if a message is queued there is nothing posted ahead of us,
+  // so claiming the oldest one preserves FIFO order.
+  if (auto m = pop_unlocked(slot.src, slot.tag)) {
+    complete(slot, std::move(*m));
+    return;
+  }
+  posted_[key_of(slot.src, slot.tag)].push_back(&slot);
+}
+
+void Mailbox::cancel_recv_unlocked(PostedRecv& slot) {
+  const auto it = posted_.find(key_of(slot.src, slot.tag));
+  if (it == posted_.end()) return;
+  auto& dq = it->second;
+  dq.erase(std::remove(dq.begin(), dq.end(), &slot), dq.end());
+}
+
+std::string Mailbox::posted_summary_unlocked() const {
+  std::vector<const PostedRecv*> slots;
+  for (const auto& [key, dq] : posted_) {
+    (void)key;
+    for (const PostedRecv* s : dq) slots.push_back(s);
+  }
+  std::sort(slots.begin(), slots.end(),
+            [](const PostedRecv* a, const PostedRecv* b) {
+              if (a->src != b->src) return a->src < b->src;
+              return a->tag < b->tag;
+            });
+  std::string out;
+  for (const PostedRecv* s : slots) {
+    if (!out.empty()) out += "; ";
+    out += s->what;
+    out += "(src=" + std::to_string(s->src) +
+           ", tag=" + std::to_string(s->tag) + ")";
+  }
+  return out;
+}
+
 void Mailbox::deposit(Message m) {
   if (blocker_) {
-    queues_[key_of(m.src, m.tag)].push_back(std::move(m));
-    ++pending_;
+    const auto it = posted_.find(key_of(m.src, m.tag));
+    if (it != posted_.end() && !it->second.empty()) {
+      PostedRecv* slot = it->second.front();
+      it->second.pop_front();
+      complete(*slot, std::move(m));
+    } else {
+      queues_[key_of(m.src, m.tag)].push_back(std::move(m));
+      ++pending_;
+    }
     blocker_->notify(*this);
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queues_[key_of(m.src, m.tag)].push_back(std::move(m));
-    ++pending_;
+    const auto it = posted_.find(key_of(m.src, m.tag));
+    if (it != posted_.end() && !it->second.empty()) {
+      PostedRecv* slot = it->second.front();
+      it->second.pop_front();
+      complete(*slot, std::move(m));
+    } else {
+      queues_[key_of(m.src, m.tag)].push_back(std::move(m));
+      ++pending_;
+    }
   }
   cv_.notify_all();
 }
 
 Message Mailbox::await(int src, int tag) {
+  // Route through the posted-receive protocol so a blocking recv queues
+  // FIFO behind any earlier irecv posted on the same (src, tag) key.
+  PostedRecv slot;
+  slot.src = src;
+  slot.tag = tag;
+  slot.what = "recv";
+  post_recv(slot);
+  await_completion(slot);
+  return std::move(slot.msg);
+}
+
+void Mailbox::post_recv(PostedRecv& slot) {
+  if (blocker_) {
+    post_recv_unlocked(slot);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  post_recv_unlocked(slot);
+}
+
+void Mailbox::await_completion(PostedRecv& slot) {
   if (blocker_) {
     for (;;) {
-      if (poisoned_) throw_poisoned();
-      if (auto m = pop_unlocked(src, tag)) return std::move(*m);
+      // Completion wins over poison: a message already delivered into the
+      // slot is valid even if the machine is tearing down (the threaded
+      // path below makes the same choice, keeping engines equivalent).
+      if (slot.done()) return;
+      if (poisoned_) {
+        cancel_recv_unlocked(slot);
+        throw_poisoned();
+      }
       blocker_->block(*this);
     }
   }
   std::unique_lock<std::mutex> lock(mutex_);
-  std::optional<Message> out;
-  cv_.wait(lock, [&] {
-    if (poisoned_) return true;
-    out = pop_unlocked(src, tag);
-    return out.has_value();
-  });
-  if (poisoned_ && !out) throw_poisoned();
-  return std::move(*out);
+  cv_.wait(lock, [&] { return slot.done() || poisoned_; });
+  if (slot.done()) return;
+  cancel_recv_unlocked(slot);
+  throw_poisoned();
+}
+
+void Mailbox::await_until(const std::function<bool()>& ready) {
+  if (blocker_) {
+    for (;;) {
+      if (ready()) return;
+      if (poisoned_) throw_poisoned();
+      blocker_->block(*this);
+    }
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return ready() || poisoned_; });
+  if (ready()) return;
+  throw_poisoned();
+}
+
+void Mailbox::cancel_recv(PostedRecv& slot) {
+  if (blocker_) {
+    cancel_recv_unlocked(slot);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  cancel_recv_unlocked(slot);
 }
 
 std::optional<Message> Mailbox::try_match(int src, int tag) {
@@ -95,6 +202,12 @@ std::size_t Mailbox::pending() const {
   if (blocker_) return pending_;
   std::lock_guard<std::mutex> lock(mutex_);
   return pending_;
+}
+
+std::string Mailbox::posted_summary() const {
+  if (blocker_) return posted_summary_unlocked();
+  std::lock_guard<std::mutex> lock(mutex_);
+  return posted_summary_unlocked();
 }
 
 }  // namespace wavepipe

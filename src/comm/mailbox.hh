@@ -8,6 +8,15 @@
 // pending. A poisoned mailbox (peer rank failed) wakes all waiters with an
 // error so the whole machine tears down instead of deadlocking.
 //
+// Posted-receive matching: every receive — blocking recv and nonblocking
+// irecv alike — is a PostedRecv slot. Posting claims the oldest queued
+// message for its (src, tag) key immediately, or registers the slot so the
+// matching deposit completes it directly, without the message ever sitting
+// in a queue. Because blocking receives post through the same protocol,
+// blocking and nonblocking traffic on one key interleave in strict posting
+// order (the FIFO guarantee extends across both APIs). Per key, at most one
+// of {queued messages, waiting posted receives} is nonempty.
+//
 // Engine-policy seam: under the threaded engine every operation locks a
 // mutex and blocked receives wait on a condition variable. When a
 // cooperative scheduler is attached (set_blocker), all ranks share one OS
@@ -16,9 +25,11 @@
 // poison notifies it.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -47,20 +58,62 @@ class MailboxBlocker {
   virtual void notify(Mailbox& mb) = 0;
 };
 
+/// One posted receive: the slot a deposit completes directly. The slot must
+/// stay at a stable address from post_recv until completion or cancel_recv
+/// (the mailbox holds a raw pointer while the receive is pending). `msg` is
+/// written before `completed` is released, so the owner may read it lock-
+/// free after an acquire load observes completion.
+struct PostedRecv {
+  int src = -1;
+  int tag = 0;
+  /// "recv" or "irecv" — only for deadlock reports (posted_summary()).
+  const char* what = "recv";
+  std::atomic<bool> completed{false};
+  Message msg;
+
+  bool done() const { return completed.load(std::memory_order_acquire); }
+};
+
 class Mailbox {
  public:
-  /// Enqueues a message (called from the sending rank).
+  /// Enqueues a message (called from the sending rank). If a posted receive
+  /// is waiting on the message's (src, tag) key, the oldest one is
+  /// completed in place; otherwise the message queues.
   void deposit(Message m);
 
   /// Blocks until a message from `src` with `tag` arrives, then removes and
   /// returns it. Throws CommError if the mailbox gets poisoned while
-  /// waiting.
+  /// waiting. Internally posts a PostedRecv, so it queues FIFO behind any
+  /// earlier irecv on the same key.
   Message await(int src, int tag);
+
+  /// Registers `slot` for its (src, tag) key: claims the oldest queued
+  /// message now or arranges for a future deposit to complete it. FIFO per
+  /// key across all posted receives.
+  void post_recv(PostedRecv& slot);
+
+  /// Blocks until `slot` completes (poison throws CommError first). The
+  /// completed message is in slot.msg.
+  void await_completion(PostedRecv& slot);
+
+  /// Blocks until `ready()` returns true, re-evaluating after every deposit
+  /// or poison (poison with ready() still false throws CommError). The
+  /// predicate runs under the mailbox's synchronization and must be cheap
+  /// and side-effect-free. This is the wait_any seam: a rank blocked here
+  /// becomes runnable whenever *any* of its pending requests may have
+  /// completed.
+  void await_until(const std::function<bool()>& ready);
+
+  /// Removes a not-yet-completed posted receive (error-path and destructor
+  /// cleanup). Safe to call when the slot already completed or was never
+  /// posted: it then does nothing.
+  void cancel_recv(PostedRecv& slot);
 
   /// Non-blocking variant: returns the message if one is already queued.
   std::optional<Message> try_match(int src, int tag);
 
-  /// True if a matching message is queued (MPI_Iprobe analogue).
+  /// True if a matching message is queued (MPI_Iprobe analogue). Messages
+  /// already claimed by a posted receive are not probeable.
   bool probe(int src, int tag);
 
   /// Marks the mailbox failed and wakes all waiters; subsequent await()
@@ -68,8 +121,15 @@ class Mailbox {
   void poison(const std::string& why);
 
   /// Number of queued (unmatched) messages; used by shutdown checks and
-  /// tests that assert no stragglers.
+  /// tests that assert no stragglers. Messages delivered into posted
+  /// receives never count here.
   std::size_t pending() const;
+
+  /// Human-readable list of the receives still waiting in this mailbox,
+  /// sorted by (src, tag) — e.g. "irecv(src=0, tag=7); recv(src=2, tag=0)".
+  /// Empty when nothing is posted. Used by the fiber engine's deadlock
+  /// report to name the requests every blocked rank is stuck on.
+  std::string posted_summary() const;
 
   /// Attaches (or with nullptr detaches) a cooperative engine. While
   /// attached the mailbox is single-threaded by contract and takes no
@@ -89,6 +149,10 @@ class Mailbox {
   // mutex_, the cooperative paths call them directly.
   std::optional<Message> pop_unlocked(int src, int tag);
   bool probe_unlocked(int src, int tag) const;
+  void post_recv_unlocked(PostedRecv& slot);
+  void cancel_recv_unlocked(PostedRecv& slot);
+  std::string posted_summary_unlocked() const;
+  static void complete(PostedRecv& slot, Message m);
   [[noreturn]] void throw_poisoned() const;
 
   mutable std::mutex mutex_;
@@ -97,6 +161,8 @@ class Mailbox {
   // space a machine sees is small and reused), so steady-state traffic
   // allocates nothing here beyond the messages themselves.
   std::unordered_map<std::uint64_t, std::deque<Message>> queues_;
+  // Per-(src, tag) FIFO of receives posted before their message arrived.
+  std::unordered_map<std::uint64_t, std::deque<PostedRecv*>> posted_;
   std::size_t pending_ = 0;
   MailboxBlocker* blocker_ = nullptr;
   bool poisoned_ = false;

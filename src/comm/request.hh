@@ -1,0 +1,34 @@
+// Typed handle to a pending nonblocking operation (Communicator::isend /
+// irecv). A Request is a value: cheap to copy, default-constructed invalid.
+// Handles are single-use — wait(), a successful test(), wait_all(), and
+// wait_any() consume the handle and reset it to invalid; operations on an
+// invalid handle are no-ops (MPI's "inactive request" convention), so loops
+// that wait the same slot every iteration need no special first-iteration
+// case. Virtual-time rules live with the operations themselves
+// (communicator.hh and DESIGN.md §10).
+#pragma once
+
+#include <cstdint>
+
+namespace wavepipe {
+
+class Communicator;
+
+class Request {
+ public:
+  Request() = default;
+
+  /// True while the operation is pending (not yet consumed by wait/test).
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class Communicator;
+  explicit Request(std::uint64_t id) : id_(id) {}
+
+  // (generation << 32) | (slot index + 1) into the owning Communicator's
+  // request table; the generation makes stale handles detectable after a
+  // slot is recycled.
+  std::uint64_t id_ = 0;
+};
+
+}  // namespace wavepipe

@@ -16,6 +16,8 @@ struct CommStats {
   std::uint64_t elements_received = 0;
   std::uint64_t bytes_received = 0;
   std::uint64_t collectives = 0;
+  std::uint64_t isends = 0;  // nonblocking sends posted (subset of sent)
+  std::uint64_t irecvs = 0;  // nonblocking receives posted
 
   friend bool operator==(const CommStats&, const CommStats&) = default;
 
@@ -27,6 +29,8 @@ struct CommStats {
     elements_received += o.elements_received;
     bytes_received += o.bytes_received;
     collectives += o.collectives;
+    isends += o.isends;
+    irecvs += o.irecvs;
     return *this;
   }
 };

@@ -17,6 +17,10 @@ const char* to_string(TraceEventType t) {
     case TraceEventType::kCollective: return "collective";
     case TraceEventType::kTile: return "tile";
     case TraceEventType::kStatement: return "statement";
+    case TraceEventType::kSendPost: return "send-post";
+    case TraceEventType::kSendWait: return "send-wait";
+    case TraceEventType::kSendComplete: return "send-complete";
+    case TraceEventType::kRecvPost: return "recv-post";
   }
   return "?";
 }

@@ -30,6 +30,10 @@ enum class TraceEventType : std::uint8_t {
   kCollective,    // a whole collective (barrier/reduce/broadcast/gather)
   kTile,          // one pipeline tile of a wavefront (recv+compute+send)
   kStatement,     // one distributed array statement (exchange + apply)
+  kSendPost,      // instant: an isend was posted (occupy_sender: no charge)
+  kSendWait,      // a wait on a send request that stalled for the NIC
+  kSendComplete,  // instant: a send request was completed by wait/test
+  kRecvPost,      // instant: an irecv was posted (never advances the clock)
 };
 
 /// Short stable name ("compute", "send", ...) used by exporters and tests.

@@ -14,7 +14,8 @@ namespace wavepipe {
 /// array semantics on this rank's portion of `region`. Collective.
 ///
 /// Returns the number of tags the call consumed, starting at `tag_base`
-/// (2*R per distinct read array). Callers issuing several statements must
+/// (a flat 2*R: all read arrays' halos travel bundled, one message per
+/// neighbour per dimension). Callers issuing several statements must
 /// advance their tag base by at least this much; apply_distributed_all
 /// does so automatically.
 template <typename E>
@@ -45,28 +46,29 @@ int apply_distributed(const Region<E::rank>& region,
       it->second.v[d] = std::max(it->second.v[d], mag);
     }
   }
-  int tag = tag_base;
+  std::vector<GhostHalo<Real, R>> bundle;
+  bundle.reserve(halos.size());
   for (auto& [array, width] : halos) {
     bool any = false;
     for (Rank d = 0; d < R; ++d) any = any || width.v[d] > 0;
-    if (any)
-      exchange_ghosts(*array, layout, comm.rank(), comm, width, tag);
-    tag += 2 * static_cast<int>(R);
+    if (any) bundle.push_back({array, width});
   }
+  if (!bundle.empty())
+    exchange_ghosts(std::span<const GhostHalo<Real, R>>(bundle), layout,
+                    comm.rank(), comm, tag_base);
 
   const Region<R> local = region.intersect(layout.owned(comm.rank()));
   apply_statement(local, spec);
   if (charge) comm.compute(static_cast<double>(local.size()));
   comm.tracer().record(TraceEventType::kStatement, t0, comm.vtime(), -1,
                        tag_base, static_cast<std::uint64_t>(local.size()));
-  return tag - tag_base;
+  return 2 * static_cast<int>(R);
 }
 
 /// Applies several parallel statements in order (each is a separate
-/// collective exchange + local apply). The tag space each statement uses is
-/// derived from the statement itself (2*R tags per distinct read array), so
-/// a statement reading arbitrarily many arrays cannot collide with the next
-/// statement's exchanges — the former flat stride of 64 could.
+/// collective exchange + local apply). Each statement consumes a flat 2*R
+/// tags (its arrays' halos are bundled per neighbour), so consecutive
+/// statements' exchanges cannot collide.
 template <Rank R, typename... Es>
 void apply_distributed_all(const Region<R>& region,
                            const Layout<R>& layout, Communicator& comm,

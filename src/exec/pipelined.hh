@@ -17,7 +17,18 @@
 //
 // All wave arrays' face segments for one tile travel as a single bundled
 // message, so the per-message cost matches the paper's alpha + beta*b model.
+//
+// The tile loop is double-buffered over persistent pack/unpack buffers:
+// tile j+1's inflow irecv is posted as soon as tile j's inflow is
+// unpacked, and tile j's outflow goes out via isend. With
+// WaveOptions::overlap the send's completion is settled one tile later —
+// the send engine drains while the next tile computes — which is the
+// paper's communication/computation overlap; without it every send is
+// waited immediately, reproducing the blocking schedule's virtual times
+// exactly. Either way the computed data is bit-identical.
 #pragma once
+
+#include <array>
 
 #include "array/ghost.hh"
 #include "comm/machine.hh"
@@ -36,6 +47,10 @@ struct WaveOptions {
   bool pre_exchange = true;
   /// Charge one virtual-time unit of compute per element (cost-model runs).
   bool charge = true;
+  /// Defer each tile's outflow-send completion to the next tile, letting
+  /// the send engine drain under the next tile's compute. Results are
+  /// bit-identical either way; virtual time drops when sends would stall.
+  bool overlap = false;
 };
 
 template <Rank R>
@@ -95,16 +110,18 @@ WaveReport<R> run_wavefront(const WavefrontPlan<R>& plan,
 
   const Region<R> local = plan.region.intersect(layout.owned(rank));
 
-  // Old-value ghost exchange for every array with a nonzero halo.
+  // Old-value ghost exchange, bundled: every array with a nonzero halo
+  // contributes to one message per neighbour per dimension.
   if (opts.pre_exchange) {
-    int tag = opts.tag_base;
+    std::vector<GhostHalo<Real, R>> bundle;
     for (const auto& use : plan.arrays) {
       bool any = false;
       for (Rank d = 0; d < R; ++d) any = any || use.halo.v[d] > 0;
-      if (any)
-        exchange_ghosts(*use.array, layout, rank, comm, use.halo, tag);
-      tag += 2 * static_cast<int>(R);
+      if (any) bundle.push_back({use.array, use.halo});
     }
+    if (!bundle.empty())
+      exchange_ghosts(std::span<const GhostHalo<Real, R>>(bundle), layout,
+                      rank, comm, opts.tag_base);
   }
 
   WaveReport<R> rep;
@@ -200,17 +217,36 @@ WaveReport<R> run_wavefront(const WavefrontPlan<R>& plan,
     return fs;
   };
 
+  // Double-buffered tile schedule over persistent buffers: while tile j
+  // computes, tile j+1's inflow is already posted and (under overlap) tile
+  // j's outflow is still draining from the send engine. Buffer k = j % 2
+  // is safe to resize/refill at tile j because its previous request was
+  // settled at tile j - 2 (or never existed; waiting an invalid Request is
+  // a no-op).
+  std::array<std::vector<Real>, 2> recv_buf, send_buf;
+  std::array<Request, 2> recv_req, send_req;
+
+  // Post the inflow irecv for tile j. Tile-order legality (c[t]*s >= 0)
+  // guarantees no tile ever needs a *later* predecessor tile, so one
+  // receive per tile suffices.
+  auto post_inflow = [&](Coord j) {
+    if (pred < 0 || j >= m) return;
+    const auto fs = faces_for(j, /*inflow=*/true);
+    std::size_t total = 0;
+    for (const auto& f : fs) total += static_cast<std::size_t>(f.size());
+    auto& buf = recv_buf[static_cast<std::size_t>(j % 2)];
+    buf.resize(total);
+    recv_req[static_cast<std::size_t>(j % 2)] =
+        comm.irecv(pred, std::span<Real>(buf), wave_tag);
+  };
+
+  post_inflow(0);
   for (Coord j = 0; j < m; ++j) {
     const double tile_t0 = comm.vtime();
-    // Receive the predecessor's face segment for this tile. Tile-order
-    // legality (c[t]*s >= 0) guarantees no tile ever needs a *later*
-    // predecessor tile, so one receive per tile suffices.
+    const std::size_t slot = static_cast<std::size_t>(j % 2);
     if (pred >= 0) {
+      comm.wait(recv_req[slot]);
       const auto fs = faces_for(j, /*inflow=*/true);
-      std::size_t total = 0;
-      for (const auto& f : fs) total += static_cast<std::size_t>(f.size());
-      std::vector<Real> buf(total);
-      comm.recv(pred, std::span<Real>(buf), wave_tag);
       std::size_t off = 0;
       for (std::size_t ui = 0; ui < fs.size(); ++ui) {
         const std::size_t n = static_cast<std::size_t>(fs[ui].size());
@@ -218,11 +254,11 @@ WaveReport<R> run_wavefront(const WavefrontPlan<R>& plan,
                 "array '" + wave_uses[ui].name() +
                     "' allocates too little fluff for the wave inflow face");
         unpack_region(*wave_uses[ui].array, fs[ui],
-                      std::vector<Real>(buf.begin() + static_cast<std::ptrdiff_t>(off),
-                                        buf.begin() + static_cast<std::ptrdiff_t>(off + n)));
+                      std::span<const Real>(recv_buf[slot]).subspan(off, n));
         off += n;
       }
     }
+    post_inflow(j + 1);
 
     const auto [ta, tb] = tile_range(j);
     const Region<R> tile = tdim == w ? local : local.with_dim(tdim, ta, tb);
@@ -230,16 +266,18 @@ WaveReport<R> run_wavefront(const WavefrontPlan<R>& plan,
     if (opts.charge) comm.compute(static_cast<double>(tile.size()));
 
     if (succ >= 0) {
+      comm.wait(send_req[slot]);  // settle the send this buffer last made
+      auto& buf = send_buf[slot];
+      buf.clear();
       const auto fs = faces_for(j, /*inflow=*/false);
-      std::vector<Real> buf;
       for (std::size_t ui = 0; ui < fs.size(); ++ui) {
         require(wave_uses[ui].array->region().contains(fs[ui]),
                 "array '" + wave_uses[ui].name() +
                     "' allocates too little fluff for the wave outflow face");
-        const auto part = pack_region(*wave_uses[ui].array, fs[ui]);
-        buf.insert(buf.end(), part.begin(), part.end());
+        pack_region_into(*wave_uses[ui].array, fs[ui], buf);
       }
-      comm.send(succ, std::span<const Real>(buf), wave_tag);
+      send_req[slot] = comm.isend(succ, std::span<const Real>(buf), wave_tag);
+      if (!opts.overlap) comm.wait(send_req[slot]);
     }
 
     // One slice per tile spanning its recv-wait, compute, and send; the
@@ -248,6 +286,8 @@ WaveReport<R> run_wavefront(const WavefrontPlan<R>& plan,
                          static_cast<int>(j),
                          static_cast<std::uint64_t>(tile.size()));
   }
+  comm.wait(send_req[0]);
+  comm.wait(send_req[1]);
 
   rep.waved = true;
   rep.tile_dim = tdim;

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "apps/simple_hydro.hh"
 #include "apps/tomcatv.hh"
 #include "array/io.hh"
 #include "exec/pipelined.hh"
@@ -152,6 +153,128 @@ TEST(EngineEquivalence, TracedTomcatvWave) {
     };
     SCOPED_TRACE("p=" + std::to_string(p));
     compare_engines(p, cm, body);
+  }
+}
+
+TEST(EngineEquivalence, NonblockingWavefrontOverlapRun) {
+  // The overlap-enabled double-buffered executor (irecv pre-post + deferred
+  // isend completion) must stay byte-identical across engines: same data,
+  // vtimes, phase breakdowns, and Chrome traces.
+  CostModel cm;
+  cm.alpha = 17.0;
+  cm.beta = 0.5;
+  const Coord n = 18;
+  const Region<2> global({{1, 1}}, {{n, n}});
+  const Region<2> reg({{2, 2}}, {{n - 1, n - 1}});
+  for (int p : {2, 4}) {
+    for (Coord block : {1, 3}) {
+      const ProcGrid<2> grid = ProcGrid<2>::along_dim(p, 0);
+      auto body = [&](Communicator& comm, std::vector<double>& extracted) {
+        const Layout<2> layout(global, grid, Idx<2>{{1, 1}});
+        DistArray<Real, 2> u("u", layout, comm.rank());
+        DistArray<Real, 2> v("v", layout, comm.rank());
+        u.local().fill_fn([](const Idx<2>& i) {
+          return 0.5 + 0.25 * std::sin(0.37 * static_cast<Real>(i.v[0])) *
+                           std::cos(0.23 * static_cast<Real>(i.v[1]));
+        });
+        v.local().fill_fn([](const Idx<2>& i) {
+          return 0.1 * static_cast<Real>((i.v[0] + 2 * i.v[1]) % 7);
+        });
+        auto plan = scan(reg, u.local() <<= 0.3 +
+                                  0.45 * prime(u.local(), Direction<2>{{-1, 0}}) +
+                                  0.1 * at(v.local(), Direction<2>{{0, -1}}))
+                        .compile();
+        WaveOptions opts;
+        opts.block = block;
+        opts.overlap = true;
+        run_wavefront(plan, layout, comm, opts);
+        auto g = gather_to_root(u, comm);
+        if (comm.rank() == 0)
+          for_each(global,
+                   [&](const Idx<2>& i) { extracted.push_back((*g)(i)); });
+      };
+      SCOPED_TRACE("p=" + std::to_string(p) + " b=" + std::to_string(block));
+      compare_engines(p, cm, body);
+    }
+  }
+}
+
+TEST(EngineEquivalence, OverlapMatchesBlockingResultsTomcatv) {
+  // The overlap schedule reorders communication only; Tomcatv's mesh and
+  // residual must be bit-identical to the blocking schedule at every p,
+  // and overlap must not raise the critical-path virtual time.
+  const CostModel cm = t3e_like().costs;
+  for (int p : {2, 4, 8}) {
+    TomcatvConfig cfg;
+    cfg.n = 40;
+    cfg.iterations = 2;
+    const ProcGrid<2> grid = ProcGrid<2>::along_dim(p, 0);
+    auto body = [&](bool overlap, Communicator& comm,
+                    std::vector<double>& extracted) {
+      Tomcatv app(cfg, grid, comm.rank());
+      app.init();
+      WaveOptions opts;
+      opts.block = 3;
+      opts.overlap = overlap;
+      Real residual = 0.0;
+      for (int it = 0; it < cfg.iterations; ++it)
+        residual = app.iterate(comm, opts);
+      // The whole mesh, gathered in rank order: bit-identity evidence.
+      const auto part =
+          pack_region(app.x(), app.layout().owned(comm.rank()));
+      auto all = comm.gather(std::span<const Real>(part));
+      if (comm.rank() == 0) {
+        extracted.push_back(residual);
+        extracted.insert(extracted.end(), all.begin(), all.end());
+      }
+    };
+    const auto blocking =
+        run_engine(EngineKind::kFibers, p, cm, TraceConfig{},
+                   [&](Communicator& c, std::vector<double>& e) {
+                     body(false, c, e);
+                   });
+    const auto overlap =
+        run_engine(EngineKind::kFibers, p, cm, TraceConfig{},
+                   [&](Communicator& c, std::vector<double>& e) {
+                     body(true, c, e);
+                   });
+    SCOPED_TRACE("p=" + std::to_string(p));
+    EXPECT_EQ(blocking.extracted, overlap.extracted);  // bit-identical
+    EXPECT_LE(overlap.result.vtime_max, blocking.result.vtime_max);
+  }
+}
+
+TEST(EngineEquivalence, OverlapMatchesBlockingResultsSimple) {
+  const CostModel cm = t3e_like().costs;
+  for (int p : {2, 4, 8}) {
+    SimpleConfig cfg;
+    cfg.n = 40;
+    cfg.iterations = 2;
+    const ProcGrid<2> grid = ProcGrid<2>::along_dim(p, 0);
+    auto run_one = [&](bool overlap) {
+      return run_engine(
+          EngineKind::kFibers, p, cm, TraceConfig{},
+          [&](Communicator& comm, std::vector<double>& extracted) {
+            WaveOptions opts;
+            opts.block = 4;
+            opts.overlap = overlap;
+            SimpleHydro app(cfg, grid, comm.rank());
+            app.init();
+            Real energy = 0.0;
+            for (int it = 0; it < cfg.iterations; ++it)
+              energy = app.step(comm, opts);
+            const Real sum = app.checksum(comm);
+            if (comm.rank() == 0) {
+              extracted.push_back(energy);
+              extracted.push_back(sum);
+            }
+          });
+    };
+    const auto blocking = run_one(false);
+    const auto overlap = run_one(true);
+    SCOPED_TRACE("p=" + std::to_string(p));
+    EXPECT_EQ(blocking.extracted, overlap.extracted);
+    EXPECT_LE(overlap.result.vtime_max, blocking.result.vtime_max);
   }
 }
 

@@ -333,9 +333,9 @@ TEST(Distributed, MessageCountsScaleWithTiles) {
 }
 
 TEST(Distributed, ApplyDistributedReportsTagsConsumed) {
-  // The tag span is 2*R per distinct read array, independent of how many
-  // times each array appears — it must agree on every rank so statement
-  // sequences can chain their tag bases.
+  // The tag span is a flat 2*R per statement — all read arrays' halos
+  // travel bundled, one message per neighbour per dimension — and it must
+  // agree on every rank so statement sequences can chain their tag bases.
   const Coord n = 12;
   const ProcGrid<2> grid = ProcGrid<2>::along_dim(2, 0);
   Machine::run(2, {}, [&](Communicator& comm) {
@@ -348,15 +348,15 @@ TEST(Distributed, ApplyDistributedReportsTagsConsumed) {
     a.local().fill(1.0);
     b.local().fill(2.0);
     c.local().fill(3.0);
-    // Three distinct read arrays (a twice): 3 * 2*2 = 12 tags.
+    // Three distinct read arrays (a twice), bundled: still 2*2 = 4 tags.
     const int used = apply_distributed(
         interior,
         c.local() <<= at(a.local(), kNorth) + at(a.local(), kSouth) +
                       at(b.local(), kWest) + c.local(),
         layout, comm, 300);
-    EXPECT_EQ(used, 12);
-    // A read-only statement consumes the span too (halo-zero arrays still
-    // reserve their slots, keeping the accounting structural).
+    EXPECT_EQ(used, 4);
+    // A statement with no halo traffic reserves the span too, keeping the
+    // accounting structural.
     const int used1 =
         apply_distributed(interior, a.local() <<= b.local() * 2.0, layout,
                           comm, 300 + used);

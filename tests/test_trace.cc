@@ -116,20 +116,25 @@ TEST(Tracer, DeterministicAcrossRuns) {
 }
 
 TEST(Tracer, EventTypesCoverTheSweep) {
+  // The executor sends through the request layer, so the sweep shows
+  // send-post / send-wait-or-complete events rather than blocking kSend.
   const auto res = pipelined_sweep(costs(30, 1), tracing());
-  bool saw_tile = false, saw_send = false, saw_wait = false,
-       saw_compute = false;
+  bool saw_tile = false, saw_post = false, saw_send_done = false,
+       saw_wait = false, saw_compute = false;
   for (const auto& t : res.traces) {
     for (const auto& e : t.events) {
       saw_tile = saw_tile || e.type == TraceEventType::kTile;
-      saw_send = saw_send || e.type == TraceEventType::kSend;
+      saw_post = saw_post || e.type == TraceEventType::kSendPost;
+      saw_send_done = saw_send_done || e.type == TraceEventType::kSendWait ||
+                      e.type == TraceEventType::kSendComplete;
       saw_wait = saw_wait || e.type == TraceEventType::kRecvWait;
       saw_compute = saw_compute || e.type == TraceEventType::kCompute;
       EXPECT_GE(e.t1, e.t0);
     }
   }
   EXPECT_TRUE(saw_tile);
-  EXPECT_TRUE(saw_send);
+  EXPECT_TRUE(saw_post);
+  EXPECT_TRUE(saw_send_done);
   EXPECT_TRUE(saw_wait);
   EXPECT_TRUE(saw_compute);
 }
@@ -221,9 +226,9 @@ TEST(ChromeExport, EmitsLoadableTraceEventJson) {
     EXPECT_NE(json.find("\"name\":\"rank " + std::to_string(r) + "\""),
               std::string::npos);
   }
-  // Complete slices for tiles and sends, with durations.
+  // Complete slices for tiles, send posts, with durations.
   EXPECT_NE(json.find("\"name\":\"tile\""), std::string::npos);
-  EXPECT_NE(json.find("\"name\":\"send\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"send-post\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(json.find("\"dur\":"), std::string::npos);
 
