@@ -63,7 +63,7 @@ void Communicator::send_bytes(int dst, int tag,
   stats_.elements_sent += elements;
   stats_.bytes_sent += payload.size();
 
-  machine_.mailbox(dst).deposit(std::move(m));
+  machine_.deliver(dst, std::move(m));
 }
 
 void Communicator::complete_recv(const Message& m, std::span<std::byte> out,
@@ -188,7 +188,7 @@ Request Communicator::isend_bytes(int dst, int tag,
   stats_.bytes_sent += payload.size();
   ++stats_.isends;
 
-  machine_.mailbox(dst).deposit(std::move(m));
+  machine_.deliver(dst, std::move(m));
   return Request((static_cast<std::uint64_t>(s.gen) << 32) |
                  static_cast<std::uint64_t>(idx + 1));
 }

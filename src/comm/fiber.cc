@@ -11,6 +11,7 @@
 
 #include "support/error.hh"
 #include "support/log.hh"
+#include "support/rng.hh"
 
 #if defined(__unix__) || defined(__linux__)
 #define WAVEPIPE_HAS_FIBERS 1
@@ -51,6 +52,10 @@ const char* to_string(EngineKind k) {
   return k == EngineKind::kThreads ? "threads" : "fibers";
 }
 
+const char* to_string(SchedKind k) {
+  return k == SchedKind::kEarliestVtime ? "deterministic" : "random";
+}
+
 bool fibers_supported() { return WAVEPIPE_HAS_FIBERS != 0; }
 
 EngineConfig EngineConfig::from_env() {
@@ -64,6 +69,30 @@ EngineConfig EngineConfig::from_env() {
     } else {
       throw ConfigError("WAVEPIPE_ENGINE expects 'threads' or 'fibers', got '" +
                         s + "'");
+    }
+  }
+  if (const char* v = std::getenv("WAVEPIPE_SCHED")) {
+    const std::string s(v);
+    if (s == "deterministic" || s.empty()) {
+      cfg.sched.kind = SchedKind::kEarliestVtime;
+    } else if (s == "random" || s.rfind("random:", 0) == 0) {
+      cfg.sched.kind = SchedKind::kRandom;
+      if (s.rfind("random:", 0) == 0) {
+        const std::string digits = s.substr(7);
+        char* end = nullptr;
+        const unsigned long long seed =
+            std::strtoull(digits.c_str(), &end, 10);
+        if (digits.empty() || !end || *end != '\0')
+          throw ConfigError(
+              "WAVEPIPE_SCHED=random:<seed> needs a decimal seed, got '" + s +
+              "'");
+        cfg.sched.seed = static_cast<std::uint64_t>(seed);
+      }
+    } else {
+      throw ConfigError(
+          "WAVEPIPE_SCHED expects 'deterministic' or 'random[:<seed>]', got "
+          "'" +
+          s + "'");
     }
   }
   if (const char* v = std::getenv("WAVEPIPE_FIBER_STACK")) {
@@ -134,13 +163,21 @@ struct FiberScheduler::Impl {
 
   int ranks;
   std::size_t stack_bytes;
+  SchedConfig sched;
+  SplitMix64 rng;
+  FiberScheduler::StepHook step_hook;
   std::vector<Fiber> fibers;
   ucontext_t main_ctx{};
   std::jmp_buf main_jb;  // refreshed at every switch into a fiber
   int current = -1;
   std::function<void(int)> body;
 
-  Impl(int n, std::size_t stack) : ranks(n), stack_bytes(stack), fibers(static_cast<std::size_t>(n)) {}
+  Impl(int n, std::size_t stack, SchedConfig sc)
+      : ranks(n),
+        stack_bytes(stack),
+        sched(std::move(sc)),
+        rng(sched.seed),
+        fibers(static_cast<std::size_t>(n)) {}
 
   ~Impl() {
     for (auto& f : fibers)
@@ -273,7 +310,7 @@ struct FiberScheduler::Impl {
   }
 
   /// Runnable rank with the smallest (vtime, rank); -1 if none.
-  int pick_next() const {
+  int pick_earliest() const {
     int best = -1;
     double best_t = 0.0;
     for (int r = 0; r < ranks; ++r) {
@@ -286,6 +323,40 @@ struct FiberScheduler::Impl {
       }
     }
     return best;
+  }
+
+  double weight_of(int r) const {
+    const auto i = static_cast<std::size_t>(r);
+    if (i < sched.rank_weights.size() && sched.rank_weights[i] > 0.0)
+      return sched.rank_weights[i];
+    return 1.0;
+  }
+
+  /// Weighted random pick among the runnable ranks; -1 if none. Consumes
+  /// RNG state only when at least one rank is runnable, so the pick
+  /// sequence (and therefore the whole run) replays exactly from the seed.
+  int pick_random() {
+    double total = 0.0;
+    int last = -1;
+    for (int r = 0; r < ranks; ++r) {
+      if (fibers[static_cast<std::size_t>(r)].state != State::kRunnable)
+        continue;
+      total += weight_of(r);
+      last = r;
+    }
+    if (last < 0) return -1;
+    double x = rng.next_double() * total;
+    for (int r = 0; r < ranks; ++r) {
+      if (fibers[static_cast<std::size_t>(r)].state != State::kRunnable)
+        continue;
+      x -= weight_of(r);
+      if (x < 0.0) return r;
+    }
+    return last;  // floating-point slop: fall back to the last runnable
+  }
+
+  int pick_next() {
+    return sched.kind == SchedKind::kRandom ? pick_random() : pick_earliest();
   }
 
   std::string blocked_ranks() const {
@@ -328,10 +399,18 @@ struct FiberScheduler::Impl {
     }
 
     int finished = 0;
+    std::uint64_t step = 0;
     std::exception_ptr deadlock_error;
     while (finished < ranks) {
+      if (step_hook) step_hook(step, /*deadlock=*/false);
+      ++step;
       const int next = pick_next();
       if (next < 0) {
+        // Before declaring deadlock, give the chaos fault injector a chance
+        // to deliver any messages it is still holding; if that wakes a
+        // rank, this was no deadlock at all.
+        if (!deadlock_error && step_hook && step_hook(step, /*deadlock=*/true))
+          continue;
         // Every unfinished rank is blocked: a communication deadlock the
         // threaded engine would hang on. Poison the mailboxes so the
         // blocked fibers unwind (destroying their stack objects), then
@@ -393,10 +472,15 @@ struct FiberScheduler::Impl {
   }
 };
 
-FiberScheduler::FiberScheduler(int ranks, std::size_t stack_bytes)
-    : impl_(std::make_unique<Impl>(ranks, stack_bytes)) {}
+FiberScheduler::FiberScheduler(int ranks, std::size_t stack_bytes,
+                               SchedConfig sched)
+    : impl_(std::make_unique<Impl>(ranks, stack_bytes, std::move(sched))) {}
 
 FiberScheduler::~FiberScheduler() = default;
+
+void FiberScheduler::set_step_hook(StepHook hook) {
+  impl_->step_hook = std::move(hook);
+}
 
 void FiberScheduler::bind_clock(int rank, const double* vtime) {
   impl_->at(rank).vtime = vtime;
@@ -415,8 +499,9 @@ void FiberScheduler::notify(Mailbox& mb) { impl_->notify(mb); }
 
 struct FiberScheduler::Impl {};
 
-FiberScheduler::FiberScheduler(int, std::size_t) {}
+FiberScheduler::FiberScheduler(int, std::size_t, SchedConfig) {}
 FiberScheduler::~FiberScheduler() = default;
+void FiberScheduler::set_step_hook(StepHook) {}
 void FiberScheduler::bind_clock(int, const double*) {}
 void FiberScheduler::run(const std::function<void(int)>&,
                          const std::function<void()>&) {

@@ -14,8 +14,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "comm/mailbox.hh"
 
@@ -28,6 +30,31 @@ enum class EngineKind {
 };
 
 const char* to_string(EngineKind k);
+
+/// How the fiber scheduler picks the next runnable rank.
+enum class SchedKind {
+  kEarliestVtime,  // deterministic: smallest (vtime, rank) — the default
+  kRandom,         // seeded random pick among runnable ranks (chaos testing)
+};
+
+const char* to_string(SchedKind k);
+
+/// Fiber scheduling policy. kRandom exists to *prove* schedule independence:
+/// results (vtimes, stats, phases, traces, array contents) of any program
+/// that avoids the probe-class operations must be byte-identical under every
+/// seed, because they depend only on per-rank program order and
+/// sender-computed arrival stamps. The pick sequence is a pure function of
+/// the seed and the observed runnable sets, so any run replays exactly from
+/// its seed.
+struct SchedConfig {
+  SchedKind kind = SchedKind::kEarliestVtime;
+  std::uint64_t seed = 0;
+  /// Optional per-rank pick weights under kRandom (empty = uniform, missing
+  /// trailing ranks default to 1). The chaos harness uses small weights to
+  /// model slowed-down ranks; weights perturb the schedule only, never
+  /// results.
+  std::vector<double> rank_weights;
+};
 
 /// True when the platform provides the context-switching API the fiber
 /// engine needs (POSIX ucontext + mmap). When false, a Machine asked for
@@ -44,10 +71,13 @@ struct EngineConfig {
 
   EngineKind kind = EngineKind::kFibers;
   std::size_t stack_bytes = kDefaultStackBytes;
+  SchedConfig sched;
 
   /// WAVEPIPE_ENGINE=threads|fibers selects the engine (default fibers);
   /// WAVEPIPE_FIBER_STACK=N[k|m] sizes fiber stacks in bytes (suffixes for
-  /// KiB / MiB). Unparseable values throw ConfigError.
+  /// KiB / MiB); WAVEPIPE_SCHED=deterministic|random:<seed> selects the
+  /// fiber scheduling policy (default deterministic). Unparseable values
+  /// throw ConfigError.
   static EngineConfig from_env();
 };
 
@@ -58,11 +88,20 @@ class Communicator;
 /// condition variable. One instance serves one Machine::run call.
 class FiberScheduler : public MailboxBlocker {
  public:
-  FiberScheduler(int ranks, std::size_t stack_bytes);
+  FiberScheduler(int ranks, std::size_t stack_bytes, SchedConfig sched = {});
   ~FiberScheduler() override;
 
   FiberScheduler(const FiberScheduler&) = delete;
   FiberScheduler& operator=(const FiberScheduler&) = delete;
+
+  /// Chaos seam: invoked once per scheduling iteration (deadlock=false,
+  /// before the pick) and again when every unfinished rank is blocked
+  /// (deadlock=true). A deadlock call returning true means machine state
+  /// changed (e.g. delayed messages were finally delivered), so the
+  /// scheduler re-polls instead of declaring deadlock. Returns from
+  /// deadlock=false calls are ignored.
+  using StepHook = std::function<bool(std::uint64_t step, bool deadlock)>;
+  void set_step_hook(StepHook hook);
 
   /// Registers rank's virtual clock (called by the rank's own fiber once
   /// its Communicator exists); the scheduler reads it to order runnable

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <thread>
 
@@ -21,6 +22,11 @@ Machine::Machine(int size, CostModel costs, TraceConfig trace,
              "context API; falling back to the threaded engine");
     engine_.kind = EngineKind::kThreads;
   }
+  if (engine_.kind == EngineKind::kThreads &&
+      engine_.sched.kind == SchedKind::kRandom) {
+    log_warn("WAVEPIPE_SCHED=random is a fiber-engine policy; the threaded "
+             "engine keeps OS scheduling (results are identical either way)");
+  }
   engine_.stack_bytes =
       std::max(engine_.stack_bytes, EngineConfig::kMinStackBytes);
   mailboxes_.reserve(static_cast<std::size_t>(size));
@@ -33,6 +39,14 @@ Machine::~Machine() = default;
 Mailbox& Machine::mailbox(int rank) {
   require(rank >= 0 && rank < size_, "rank out of range");
   return *mailboxes_[static_cast<std::size_t>(rank)];
+}
+
+void Machine::deliver(int dst, Message m) {
+  if (interceptor_) {
+    interceptor_->deliver(dst, std::move(m));
+    return;
+  }
+  mailbox(dst).deposit(std::move(m));
 }
 
 std::size_t Machine::pending_messages() const {
@@ -52,7 +66,11 @@ void Machine::run_threads(
 
 void Machine::run_fibers(
     const std::function<void(int, FiberScheduler*)>& body) {
-  FiberScheduler sched(size_, engine_.stack_bytes);
+  FiberScheduler sched(size_, engine_.stack_bytes, engine_.sched);
+  if (interceptor_)
+    sched.set_step_hook([this](std::uint64_t step, bool deadlock) {
+      return interceptor_->step(step, deadlock);
+    });
   // Detach the cooperative blocking policy however the run ends, so the
   // mailboxes are back in their locked (externally usable) mode.
   struct BlockerGuard {
@@ -67,9 +85,19 @@ void Machine::run_fibers(
               for (auto& mb : mailboxes_)
                 mb->poison("deadlock: every rank is blocked");
             });
+  // Flush anything the interceptor still holds: messages the program sent
+  // but never received must end up in the mailboxes, exactly as they would
+  // have without chaos (pending_messages() stays chaos-invariant).
+  if (interceptor_)
+    interceptor_->step(std::numeric_limits<std::uint64_t>::max(),
+                       /*deadlock=*/true);
 }
 
 RunResult Machine::run(const std::function<void(Communicator&)>& fn) {
+  if (interceptor_ && (engine_.kind != EngineKind::kFibers || size_ < 2))
+    throw ConfigError(
+        "a delivery interceptor needs the fiber engine and >= 2 ranks "
+        "(threaded deposits would race the injector)");
   RunResult result;
   result.vtime.assign(static_cast<std::size_t>(size_), 0.0);
   result.stats.assign(static_cast<std::size_t>(size_), CommStats{});

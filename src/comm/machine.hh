@@ -47,6 +47,29 @@ struct RunResult {
   std::vector<RankTrace> traces;
 };
 
+/// Chaos seam: when installed on a Machine, every outgoing message is routed
+/// through the interceptor instead of being deposited directly into the
+/// destination mailbox, and the fiber scheduler calls step() once per
+/// scheduling iteration (plus once more when every unfinished rank is
+/// blocked) so held messages can be delivered later. Fiber engine only:
+/// Machine::run throws ConfigError when an interceptor is installed on a
+/// threaded machine, because deposits from concurrent threads would race the
+/// injector's state. See src/testing/chaos.hh for the FaultInjector built on
+/// this seam.
+class DeliveryInterceptor {
+ public:
+  virtual ~DeliveryInterceptor() = default;
+  /// Called in place of Mailbox::deposit on the destination's mailbox; the
+  /// interceptor delivers (now or later) via machine.mailbox(dst).deposit.
+  virtual void deliver(int dst, Message m) = 0;
+  /// `deadlock` is true when every unfinished rank is blocked; return true
+  /// iff a message was delivered (the scheduler then re-polls instead of
+  /// declaring deadlock). Also called once after the rank bodies finish so
+  /// messages that were never received end up in the mailboxes, exactly as
+  /// they would without an interceptor.
+  virtual bool step(std::uint64_t step, bool deadlock) = 0;
+};
+
 /// An SPMD machine of `size` ranks.
 class Machine {
  public:
@@ -92,6 +115,18 @@ class Machine {
 
   Mailbox& mailbox(int rank);
 
+  /// Routes an outgoing message to `dst`: through the delivery interceptor
+  /// when one is installed, else straight into the destination mailbox.
+  /// Communicator sends go through here.
+  void deliver(int dst, Message m);
+
+  /// Installs (or, with nullptr, removes) the chaos delivery interceptor.
+  /// The pointer is borrowed; it must outlive every run() it observes.
+  void set_delivery_interceptor(DeliveryInterceptor* interceptor) {
+    interceptor_ = interceptor;
+  }
+  DeliveryInterceptor* delivery_interceptor() const { return interceptor_; }
+
   /// Sum of messages still queued in all mailboxes (0 after a clean run).
   std::size_t pending_messages() const;
 
@@ -103,6 +138,7 @@ class Machine {
   CostModel costs_;
   TraceConfig trace_;
   EngineConfig engine_;
+  DeliveryInterceptor* interceptor_ = nullptr;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 };
 

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <limits>
 
 namespace wavepipe {
@@ -44,5 +45,19 @@ class SplitMix64 {
  private:
   std::uint64_t state_;
 };
+
+/// Base seed for randomized tests: WAVEPIPE_SEED=<n> overrides `fallback`,
+/// so any randomized failure is re-runnable from its printed seed.
+/// Unparseable values fall through to `fallback` (tests must never change
+/// behaviour on a typo — they print the seed actually used on failure).
+inline std::uint64_t test_seed(std::uint64_t fallback) {
+  if (const char* v = std::getenv("WAVEPIPE_SEED")) {
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(v, &end, 10);
+    if (end != v && end && *end == '\0')
+      return static_cast<std::uint64_t>(n);
+  }
+  return fallback;
+}
 
 }  // namespace wavepipe

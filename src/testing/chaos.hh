@@ -1,0 +1,100 @@
+// Deterministic chaos layer: seeded-random fiber scheduling plus physical
+// fault injection (message delay/jitter, bounded reorder across distinct
+// (src, tag) keys, per-rank slowdown). Everything here perturbs *when*
+// things physically happen, never the virtual-time semantics: arrival
+// stamps stay sender-computed and FIFO per (src, tag) key is preserved, so
+// a program that avoids the probe-class operations (probe/test/wait_any)
+// must produce byte-identical results under any seed and any plan. The fuzz
+// harness in testing/proggen.hh machine-checks exactly that.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "comm/machine.hh"
+#include "support/rng.hh"
+
+namespace wavepipe {
+
+/// A fault plan: pure data, replayable from its seed.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  /// Probability that an otherwise-deliverable message is held in limbo.
+  double delay_prob = 0.0;
+  /// A held message releases after 1..max_delay_steps scheduler steps —
+  /// bounded reorder relative to messages on other (src, tag) keys.
+  std::uint64_t max_delay_steps = 0;
+  /// Per-rank scheduler pick weights (slowed ranks get small weights);
+  /// empty = uniform. Forwarded into SchedConfig by run_chaotic.
+  std::vector<double> rank_weights;
+  /// TEST-ONLY bug switch: when false, the injector skips the per-key
+  /// release clamp and deliberately lets a later message overtake an
+  /// earlier one on the *same* (src, tag) key — breaking the FIFO
+  /// guarantee the mailbox contract promises. Exists so the fuzz harness
+  /// can prove it detects and minimizes FIFO violations (see
+  /// tests/test_fuzz_comm.cc); never disable it to "test" real code.
+  bool preserve_key_order = true;
+
+  bool active() const { return delay_prob > 0.0 && max_delay_steps > 0; }
+
+  /// A randomized plan: moderate jitter, sometimes one or two slowed ranks.
+  static FaultPlan from_seed(std::uint64_t seed, int ranks);
+};
+
+/// DeliveryInterceptor implementing a FaultPlan. Holds a random subset of
+/// in-flight messages in limbo and re-delivers them a bounded number of
+/// scheduler steps later; messages on one (src, tag, dst) key release in
+/// send order (unless the plan's test-only bug switch is off). Install on a
+/// fiber-engine Machine for the duration of one run — run_chaotic does all
+/// of this.
+class FaultInjector final : public DeliveryInterceptor {
+ public:
+  FaultInjector(Machine& machine, const FaultPlan& plan);
+
+  void deliver(int dst, Message m) override;
+  bool step(std::uint64_t step, bool deadlock) override;
+
+  /// Messages held at least once (diagnostics: a plan that never held
+  /// anything exercised nothing).
+  std::uint64_t held_total() const { return held_total_; }
+
+ private:
+  static std::uint64_t key_of(int dst, int src, int tag);
+
+  struct Held {
+    int dst = 0;
+    std::uint64_t due = 0;   // scheduler step at which to deliver
+    std::uint64_t key = 0;
+    Message msg;
+  };
+
+  Machine& machine_;
+  FaultPlan plan_;
+  SplitMix64 rng_;
+  std::uint64_t now_ = 0;
+  std::deque<Held> limbo_;  // insertion order == per-key send order
+  std::unordered_map<std::uint64_t, std::uint64_t> key_in_limbo_;
+  std::unordered_map<std::uint64_t, std::uint64_t> key_due_;
+  std::uint64_t held_total_ = 0;
+};
+
+/// One chaotic run: fiber engine, seeded-random scheduling (optional), and
+/// an optional fault plan, against the given machine shape.
+struct ChaosOptions {
+  bool random_sched = true;
+  std::uint64_t sched_seed = 0;
+  FaultPlan faults;  // inactive by default
+  TraceConfig trace;  // disabled by default
+};
+
+/// Runs fn on a fresh fiber-engine Machine under the chaos options and
+/// returns the result. The proof pattern: run once deterministically, then
+/// compare against run_chaotic for many seeds/plans — byte-identical for
+/// deterministic-class programs.
+RunResult run_chaotic(int size, CostModel costs, const ChaosOptions& opts,
+                      const std::function<void(Communicator&)>& fn);
+
+}  // namespace wavepipe

@@ -1,0 +1,431 @@
+// The chaos layer itself: seeded random scheduling replays from its seed,
+// fault plans perturb physical delivery without changing any result, the
+// wavefront executors are byte-identical under every schedule and fault
+// plan (the paper's schedule-independence claim, machine-checked), and an
+// injected all-blocked state still produces a typed EngineError.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "apps/simple_hydro.hh"
+#include "apps/tomcatv.hh"
+#include "array/io.hh"
+#include "exec/pipelined.hh"
+#include "model/machines.hh"
+#include "testing/chaos.hh"
+
+namespace wavepipe {
+namespace {
+
+struct EnvGuard {
+  std::string name;
+  std::string saved;
+  bool had = false;
+  explicit EnvGuard(const char* n) : name(n) {
+    if (const char* v = std::getenv(n)) {
+      had = true;
+      saved = v;
+    }
+  }
+  ~EnvGuard() {
+    if (had)
+      ::setenv(name.c_str(), saved.c_str(), 1);
+    else
+      ::unsetenv(name.c_str());
+  }
+};
+
+struct ChaosRun {
+  RunResult result;
+  std::vector<double> extracted;
+};
+
+template <typename Fn>
+ChaosRun run_deterministic(int p, CostModel cm, Fn&& fn) {
+  ChaosRun out;
+  ChaosOptions opts;
+  opts.random_sched = false;
+  opts.trace.enabled = true;
+  out.result = run_chaotic(
+      p, cm, opts, [&](Communicator& comm) { fn(comm, out.extracted); });
+  return out;
+}
+
+template <typename Fn>
+ChaosRun run_under(int p, CostModel cm, const ChaosOptions& opts, Fn&& fn) {
+  ChaosRun out;
+  out.result = run_chaotic(
+      p, cm, opts, [&](Communicator& comm) { fn(comm, out.extracted); });
+  return out;
+}
+
+void expect_identical(const ChaosRun& a, const ChaosRun& b) {
+  EXPECT_EQ(a.result.vtime, b.result.vtime);
+  EXPECT_EQ(a.result.vtime_max, b.result.vtime_max);
+  for (std::size_t r = 0; r < a.result.stats.size(); ++r)
+    EXPECT_EQ(a.result.stats[r], b.result.stats[r]) << "stats rank " << r;
+  EXPECT_EQ(a.result.total, b.result.total);
+  for (std::size_t r = 0; r < a.result.phases.size(); ++r)
+    EXPECT_EQ(a.result.phases[r], b.result.phases[r]) << "phases rank " << r;
+  EXPECT_EQ(a.extracted, b.extracted);
+  ASSERT_EQ(a.result.traces.size(), b.result.traces.size());
+  for (std::size_t r = 0; r < a.result.traces.size(); ++r)
+    EXPECT_EQ(a.result.traces[r].events, b.result.traces[r].events)
+        << "trace rank " << r;
+  std::ostringstream ja, jb;
+  write_chrome_trace(ja, a.result);
+  write_chrome_trace(jb, b.result);
+  EXPECT_EQ(ja.str(), jb.str());
+}
+
+// Ring + collective traffic: enough cross-rank coupling that a scheduling
+// difference anywhere shows up in the trace.
+void storm_body(Communicator& comm, std::vector<double>& extracted) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  const int next = (me + 1) % p;
+  const int prev = (me + p - 1) % p;
+  std::int64_t acc = me;
+  for (int round = 0; round < 10; ++round) {
+    comm.compute(static_cast<double>((me + round) % 3 + 1));
+    comm.send_value(next, acc, round % 3);
+    acc = comm.recv_value<std::int64_t>(prev, round % 3);
+    acc += comm.allreduce_sum(std::int64_t{1});
+  }
+  auto all =
+      comm.gather(std::span<const double>{std::array{double(acc)}.data(), 1});
+  if (me == 0)
+    extracted.insert(extracted.end(), all.begin(), all.end());
+}
+
+TEST(SchedEnv, ParsesWavepipeSched) {
+  EnvGuard guard("WAVEPIPE_SCHED");
+
+  ::unsetenv("WAVEPIPE_SCHED");
+  EXPECT_EQ(EngineConfig::from_env().sched.kind, SchedKind::kEarliestVtime);
+
+  ::setenv("WAVEPIPE_SCHED", "deterministic", 1);
+  EXPECT_EQ(EngineConfig::from_env().sched.kind, SchedKind::kEarliestVtime);
+
+  ::setenv("WAVEPIPE_SCHED", "random", 1);
+  EXPECT_EQ(EngineConfig::from_env().sched.kind, SchedKind::kRandom);
+  EXPECT_EQ(EngineConfig::from_env().sched.seed, 0u);
+
+  ::setenv("WAVEPIPE_SCHED", "random:12345", 1);
+  {
+    const auto cfg = EngineConfig::from_env();
+    EXPECT_EQ(cfg.sched.kind, SchedKind::kRandom);
+    EXPECT_EQ(cfg.sched.seed, 12345u);
+  }
+
+  ::setenv("WAVEPIPE_SCHED", "random:notanumber", 1);
+  EXPECT_THROW(EngineConfig::from_env(), ConfigError);
+  ::setenv("WAVEPIPE_SCHED", "chaotic", 1);
+  EXPECT_THROW(EngineConfig::from_env(), ConfigError);
+}
+
+TEST(SchedEnv, ToStringNamesBothKinds) {
+  EXPECT_STREQ(to_string(SchedKind::kEarliestVtime), "deterministic");
+  EXPECT_STREQ(to_string(SchedKind::kRandom), "random");
+}
+
+TEST(RandomSched, ReplaysByteIdenticalFromItsSeed) {
+  CostModel cm;
+  cm.alpha = 7.0;
+  cm.beta = 0.5;
+  ChaosOptions opts;
+  opts.random_sched = true;
+  opts.sched_seed = 99;
+  opts.trace.enabled = true;
+  const auto a = run_under(5, cm, opts, storm_body);
+  const auto b = run_under(5, cm, opts, storm_body);
+  expect_identical(a, b);
+}
+
+TEST(RandomSched, ResultsMatchDeterministicScheduleForManySeeds) {
+  CostModel cm;
+  cm.alpha = 7.0;
+  cm.beta = 0.5;
+  const auto base = run_deterministic(5, cm, storm_body);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    ChaosOptions opts;
+    opts.random_sched = true;
+    opts.sched_seed = seed;
+    opts.trace.enabled = true;
+    SCOPED_TRACE("sched seed " + std::to_string(seed));
+    expect_identical(base, run_under(5, cm, opts, storm_body));
+  }
+}
+
+TEST(Faults, InjectorHoldsAndRedeliversWithoutChangingResults) {
+  CostModel cm;
+  cm.alpha = 7.0;
+  cm.beta = 0.5;
+  const auto base = run_deterministic(5, cm, storm_body);
+  std::uint64_t held = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const FaultPlan plan = FaultPlan::from_seed(seed, 5);
+    ASSERT_TRUE(plan.active());
+    // Drive the injector by hand (not through run_chaotic) so the test can
+    // observe held_total: the plan must actually be exercising limbo.
+    EngineConfig eng;
+    eng.kind = EngineKind::kFibers;
+    eng.sched.kind = SchedKind::kRandom;
+    eng.sched.seed = seed * 77 + 1;
+    eng.sched.rank_weights = plan.rank_weights;
+    TraceConfig tc;
+    tc.enabled = true;
+    Machine m(5, cm, tc, eng);
+    ASSERT_EQ(m.engine(), EngineKind::kFibers);
+    FaultInjector injector(m, plan);
+    m.set_delivery_interceptor(&injector);
+    ChaosRun out;
+    out.result =
+        m.run([&](Communicator& comm) { storm_body(comm, out.extracted); });
+    m.set_delivery_interceptor(nullptr);
+    held += injector.held_total();
+    SCOPED_TRACE("fault seed " + std::to_string(seed));
+    expect_identical(base, out);
+    EXPECT_EQ(m.pending_messages(), 0u);
+  }
+  EXPECT_GT(held, 0u);  // the plans really delayed messages
+}
+
+TEST(Faults, HeavySameKeyTrafficKeepsFifoOrder) {
+  // 30 messages over 3 tags on one (src, dst) pair, received in a scrambled
+  // (but deterministic) order. Any per-key overtake in the injector would
+  // deliver the wrong value to an early recv.
+  CostModel cm;
+  cm.alpha = 3.0;
+  cm.beta = 0.25;
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    ChaosOptions opts;
+    opts.random_sched = true;
+    opts.sched_seed = seed;
+    opts.faults.seed = seed;
+    opts.faults.delay_prob = 0.9;
+    opts.faults.max_delay_steps = 13;
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    run_chaotic(2, cm, opts, [](Communicator& comm) {
+      constexpr int kPerTag = 10;
+      if (comm.rank() == 0) {
+        for (int i = 0; i < kPerTag; ++i)
+          for (int tag = 0; tag < 3; ++tag)
+            comm.send_value(1, 1000 * tag + i, tag);
+      } else {
+        for (int tag : {2, 0, 1})
+          for (int i = 0; i < kPerTag; ++i)
+            EXPECT_EQ(comm.recv_value<int>(0, tag), 1000 * tag + i)
+                << "tag " << tag << " message " << i;
+      }
+    });
+  }
+}
+
+TEST(Faults, WavefrontTomcatvByteIdenticalUnderChaos) {
+  // The acceptance criterion: Tomcatv wavefronts at p in {2,4,8}, blocking
+  // and overlap mode, are byte-identical (mesh, vtimes, phases, traces) to
+  // the deterministic schedule under random scheduling + fault plans.
+  const CostModel cm = t3e_like().costs;
+  for (int p : {2, 4, 8}) {
+    for (bool overlap : {false, true}) {
+      TomcatvConfig cfg;
+      cfg.n = 40;
+      cfg.iterations = 1;
+      const ProcGrid<2> grid = ProcGrid<2>::along_dim(p, 0);
+      auto body = [&](Communicator& comm, std::vector<double>& extracted) {
+        Tomcatv app(cfg, grid, comm.rank());
+        app.init();
+        WaveOptions opts;
+        opts.block = 3;
+        opts.overlap = overlap;
+        Real residual = 0.0;
+        for (int it = 0; it < cfg.iterations; ++it)
+          residual = app.iterate(comm, opts);
+        const auto part =
+            pack_region(app.x(), app.layout().owned(comm.rank()));
+        auto all = comm.gather(std::span<const Real>(part));
+        if (comm.rank() == 0) {
+          extracted.push_back(residual);
+          extracted.insert(extracted.end(), all.begin(), all.end());
+        }
+      };
+      const auto base = run_deterministic(p, cm, body);
+      for (std::uint64_t seed : {1u, 2u, 3u}) {
+        ChaosOptions opts;
+        opts.random_sched = true;
+        opts.sched_seed = seed;
+        opts.trace.enabled = true;
+        if (seed != 1) opts.faults = FaultPlan::from_seed(seed * 31, p);
+        SCOPED_TRACE("p=" + std::to_string(p) +
+                     " overlap=" + std::to_string(overlap) + " seed=" +
+                     std::to_string(seed));
+        expect_identical(base, run_under(p, cm, opts, body));
+      }
+    }
+  }
+}
+
+TEST(Faults, WavefrontSimpleByteIdenticalUnderChaos) {
+  const CostModel cm = t3e_like().costs;
+  for (int p : {2, 4, 8}) {
+    SimpleConfig cfg;
+    cfg.n = 40;
+    cfg.iterations = 1;
+    const ProcGrid<2> grid = ProcGrid<2>::along_dim(p, 0);
+    auto body = [&](Communicator& comm, std::vector<double>& extracted) {
+      WaveOptions opts;
+      opts.block = 4;
+      opts.overlap = true;
+      SimpleHydro app(cfg, grid, comm.rank());
+      app.init();
+      Real energy = 0.0;
+      for (int it = 0; it < cfg.iterations; ++it)
+        energy = app.step(comm, opts);
+      const Real sum = app.checksum(comm);
+      if (comm.rank() == 0) {
+        extracted.push_back(energy);
+        extracted.push_back(sum);
+      }
+    };
+    const auto base = run_deterministic(p, cm, body);
+    for (std::uint64_t seed : {7u, 8u}) {
+      ChaosOptions opts;
+      opts.random_sched = true;
+      opts.sched_seed = seed;
+      opts.trace.enabled = true;
+      opts.faults = FaultPlan::from_seed(seed, p);
+      SCOPED_TRACE("p=" + std::to_string(p) + " seed=" +
+                   std::to_string(seed));
+      expect_identical(base, run_under(p, cm, opts, body));
+    }
+  }
+}
+
+TEST(Faults, SlowedRankChangesScheduleNotResults) {
+  CostModel cm;
+  cm.alpha = 7.0;
+  cm.beta = 0.5;
+  const auto base = run_deterministic(6, cm, storm_body);
+  for (int slow = 0; slow < 6; ++slow) {
+    ChaosOptions opts;
+    opts.random_sched = true;
+    opts.sched_seed = 42;
+    opts.trace.enabled = true;
+    opts.faults.delay_prob = 0.5;
+    opts.faults.max_delay_steps = 9;
+    opts.faults.rank_weights.assign(6, 1.0);
+    opts.faults.rank_weights[static_cast<std::size_t>(slow)] = 0.02;
+    SCOPED_TRACE("slow rank " + std::to_string(slow));
+    expect_identical(base, run_under(6, cm, opts, storm_body));
+  }
+}
+
+TEST(Faults, DeadlockUnderChaosIsTypedErrorNeverHang) {
+  // Rank 0 waits for a tag that is never sent while rank 1's real message
+  // may sit in the injector's limbo when the scheduler first sees the
+  // all-blocked state. The injector must flush (so no false deadlock from
+  // limbo), and the genuine deadlock must still surface as EngineError.
+  CostModel cm;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    ChaosOptions opts;
+    opts.random_sched = true;
+    opts.sched_seed = seed;
+    opts.faults.seed = seed;
+    opts.faults.delay_prob = 0.95;
+    opts.faults.max_delay_steps = 40;
+    try {
+      run_chaotic(2, cm, opts, [](Communicator& comm) {
+        if (comm.rank() == 0) {
+          int out[3] = {0, 0, 0};
+          comm.recv(1, std::span<int>(out), 3);  // tag 3: sent (maybe limboed)
+          (void)comm.recv_value<int>(1, 9);      // tag 9: never sent
+        } else {
+          const int data[3] = {1, 2, 3};
+          comm.send(0, std::span<const int>(data), 3);
+        }
+      });
+      FAIL() << "seed " << seed << ": deadlock did not throw";
+    } catch (const EngineError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("deadlock"), std::string::npos) << what;
+      EXPECT_NE(what.find("tag=9"), std::string::npos)
+          << "report should name the stuck receive: " << what;
+    }
+  }
+}
+
+TEST(Faults, DelayedMessageAloneIsNotADeadlock) {
+  // The whole run blocks on a message that is *only* in limbo — the step
+  // hook's deadlock flush must rescue it and the run must succeed.
+  CostModel cm;
+  ChaosOptions opts;
+  opts.random_sched = false;  // earliest-vtime order makes the race certain
+  opts.faults.seed = 4;
+  opts.faults.delay_prob = 1.0;  // hold everything
+  opts.faults.max_delay_steps = 1u << 30;  // effectively forever
+  const auto res = run_chaotic(2, cm, opts, [](Communicator& comm) {
+    if (comm.rank() == 0)
+      comm.send_value(1, 77);
+    else
+      EXPECT_EQ(comm.recv_value<int>(0), 77);
+  });
+  EXPECT_EQ(res.total.messages_received, 1u);
+}
+
+TEST(Faults, UnreceivedMessagesEndUpInMailboxesAfterChaos) {
+  // pending_messages() must be chaos-invariant: the end-of-run flush parks
+  // never-received messages in the mailbox exactly like an un-faulted run.
+  CostModel cm;
+  EngineConfig eng;
+  eng.kind = EngineKind::kFibers;
+  Machine m(2, cm, TraceConfig{}, eng);
+  FaultPlan plan;
+  plan.delay_prob = 1.0;
+  plan.max_delay_steps = 1000;
+  FaultInjector injector(m, plan);
+  m.set_delivery_interceptor(&injector);
+  m.run([](Communicator& comm) {
+    if (comm.rank() == 0) comm.send_value(1, 5, /*tag=*/4);
+    comm.barrier();
+  });
+  m.set_delivery_interceptor(nullptr);
+  EXPECT_EQ(m.pending_messages(), 1u);
+  EXPECT_GE(injector.held_total(), 1u);
+  // Drain for reuse.
+  m.run([](Communicator& comm) {
+    if (comm.rank() == 1) EXPECT_EQ(comm.recv_value<int>(0, 4), 5);
+  });
+  EXPECT_EQ(m.pending_messages(), 0u);
+}
+
+TEST(Machine, InterceptorRequiresFiberEngine) {
+  EngineConfig eng;
+  eng.kind = EngineKind::kThreads;
+  Machine m(2, {}, TraceConfig{}, eng);
+  FaultInjector injector(m, FaultPlan::from_seed(1, 2));
+  m.set_delivery_interceptor(&injector);
+  EXPECT_THROW(m.run([](Communicator&) {}), ConfigError);
+  m.set_delivery_interceptor(nullptr);
+  EXPECT_NO_THROW(m.run([](Communicator&) {}));
+}
+
+TEST(Machine, RandomSchedUnderThreadsEngineIsIgnoredButHarmless) {
+  EngineConfig eng;
+  eng.kind = EngineKind::kThreads;
+  eng.sched.kind = SchedKind::kRandom;
+  eng.sched.seed = 3;
+  Machine m(2, {}, TraceConfig{}, eng);
+  const auto res = m.run([](Communicator& comm) {
+    if (comm.rank() == 0)
+      comm.send_value(1, 11);
+    else
+      EXPECT_EQ(comm.recv_value<int>(0), 11);
+  });
+  EXPECT_EQ(res.total.messages_sent, 1u);
+}
+
+}  // namespace
+}  // namespace wavepipe

@@ -6,11 +6,13 @@
 // engines.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <string>
 #include <vector>
 
 #include "comm/machine.hh"
 #include "support/error.hh"
+#include "testing/chaos.hh"
 
 namespace wavepipe {
 namespace {
@@ -381,6 +383,57 @@ TEST(Requests, SizeMismatchSurfacesAtWait) {
                  }),
                  CommError)
         << to_string(kind);
+  }
+}
+
+TEST(Requests, MixedBlockingNonblockingWaitAnyOneKeyKeepsFifoUnderChaos) {
+  // Regression distilled from the chaos fuzzer's hottest pattern (ISSUE 4):
+  // one (src, tag) key worked simultaneously by blocking recv, posted
+  // irecvs, and wait_any, while a fault plan delays and jitters physical
+  // delivery. A 45k-seed sweep of the generated-program fuzzer found no
+  // ordering bug in the posted-receive protocol; this pins the pattern the
+  // sweep leaned on hardest so it stays covered at unit-test granularity.
+  // FIFO-per-key means values arrive in send order no matter which receive
+  // flavor claims them or which request wait_any picks first.
+  constexpr int kMsgs = 12;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    ChaosOptions opts;
+    opts.random_sched = true;
+    opts.sched_seed = seed;
+    opts.faults.seed = seed;
+    opts.faults.delay_prob = 0.8;
+    opts.faults.max_delay_steps = 11;
+    SCOPED_TRACE("chaos seed " + std::to_string(seed));
+    run_chaotic(2, {}, opts, [](Communicator& comm) {
+      if (comm.rank() == 0) {
+        for (int i = 0; i < kMsgs; ++i) comm.send_value(1, i, /*tag=*/5);
+        return;
+      }
+      std::vector<int> got;
+      std::vector<int> slot(4, -1);
+      // Rounds of 4: blocking recv, two posted irecvs resolved via
+      // wait_any (physical order) then wait, and one more blocking recv —
+      // all on the same key.
+      for (int round = 0; round < kMsgs / 4; ++round) {
+        got.push_back(comm.recv_value<int>(0, 5));
+        std::array<Request, 2> reqs = {
+            comm.irecv(0, std::span<int>(&slot[0], 1), 5),
+            comm.irecv(0, std::span<int>(&slot[1], 1), 5)};
+        got.push_back(comm.recv_value<int>(0, 5));
+        const std::size_t first = comm.wait_any(std::span<Request>(reqs));
+        comm.wait(reqs[1 - first]);
+        // The irecvs were posted in order, so slot[0] precedes slot[1]
+        // regardless of which request completed first physically.
+        got.push_back(slot[0]);
+        got.push_back(slot[1]);
+        // FIFO: the blocking recvs bracket the posted pair, in post order.
+        const int base = round * 4;
+        EXPECT_EQ(got[static_cast<std::size_t>(base) + 0], base + 0);
+        EXPECT_EQ(got[static_cast<std::size_t>(base) + 1], base + 3);
+        EXPECT_EQ(got[static_cast<std::size_t>(base) + 2], base + 1);
+        EXPECT_EQ(got[static_cast<std::size_t>(base) + 3], base + 2);
+      }
+    });
   }
 }
 

@@ -19,8 +19,10 @@ TEST(Stress, RandomizedAllToAllTraffic) {
   // contents and FIFO order per (src, tag).
   const int p = 6;
   const int tags = 3;
-  auto count_for = [](int from, int to, int tag) {
-    SplitMix64 rng(static_cast<std::uint64_t>(from * 100 + to * 10 + tag));
+  const std::uint64_t seed = test_seed(2026);  // WAVEPIPE_SEED=<n> overrides
+  SCOPED_TRACE("WAVEPIPE_SEED=" + std::to_string(seed));
+  auto count_for = [seed](int from, int to, int tag) {
+    SplitMix64 rng(seed ^ static_cast<std::uint64_t>(from * 100 + to * 10 + tag));
     return static_cast<int>(rng.uniform_int(0, 7));
   };
   Machine::run(p, {}, [&](Communicator& comm) {

@@ -1,0 +1,208 @@
+// Fuzz harness for the communication layer: random comm programs are
+// generated deadlock-free, executed under every engine/schedule/fault-plan
+// combination, and cross-checked for byte-identical results. Includes the
+// negative control the ISSUE demands: a deliberately broken FIFO (the
+// injector's preserve_key_order=false mode) must be caught and shrunk to a
+// tiny repro with a one-line replay command.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "support/rng.hh"
+#include "testing/proggen.hh"
+
+namespace wavepipe {
+namespace {
+
+// All sweeps start from this base so WAVEPIPE_SEED=<n> re-aims the whole
+// file at a different region of seed space.
+std::uint64_t sweep_base() { return test_seed(1); }
+
+TEST(ProgGen, SameSeedSameProgram) {
+  for (std::uint64_t seed : {1u, 17u, 400u}) {
+    const CommProgram a = generate_program(seed);
+    const CommProgram b = generate_program(seed);
+    EXPECT_EQ(a.ranks, b.ranks);
+    EXPECT_EQ(a.total_ops(), b.total_ops());
+    EXPECT_EQ(a.describe(), b.describe()) << "seed " << seed;
+  }
+}
+
+TEST(ProgGen, ProgramsAreWellFormed) {
+  ProgGenOptions g;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const CommProgram prog = generate_program(seed, g);
+    EXPECT_EQ(prog.seed, seed);
+    ASSERT_GE(prog.ranks, g.min_ranks);
+    ASSERT_LE(prog.ranks, g.max_ranks);
+    ASSERT_EQ(prog.ops.size(), static_cast<std::size_t>(prog.ranks));
+    EXPECT_GT(prog.total_ops(), static_cast<std::size_t>(g.target_ops) / 2);
+    EXPECT_FALSE(prog.probe_class);  // default options never emit wait_any
+    for (int r = 0; r < prog.ranks; ++r) {
+      for (const CommOp& op : prog.ops[static_cast<std::size_t>(r)]) {
+        switch (op.kind) {
+          case CommOp::Kind::kSend:
+          case CommOp::Kind::kIsend:
+          case CommOp::Kind::kRecv:
+          case CommOp::Kind::kIrecv:
+            EXPECT_GE(op.peer, 0);
+            EXPECT_LT(op.peer, prog.ranks);
+            EXPECT_NE(op.peer, r);
+            EXPECT_GE(op.tag, 0);
+            EXPECT_GE(op.msg_id, 0);
+            EXPECT_GT(op.elems, 0);
+            break;
+          case CommOp::Kind::kCompute:
+            EXPECT_GT(op.work, 0.0);
+            break;
+          default:
+            break;
+        }
+      }
+    }
+  }
+}
+
+TEST(ProgGen, BaselineExecutionIsClean) {
+  // Every generated program must run to completion on the deterministic
+  // fiber schedule with zero invariant violations — they are deadlock-free
+  // and FIFO-consistent by construction.
+  for (std::uint64_t seed = sweep_base(); seed < sweep_base() + 25; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed) + " (" + repro_line(seed) +
+                 ")");
+    const CommProgram prog = generate_program(seed);
+    const ProgramOutcome out = run_program(prog);
+    EXPECT_TRUE(out.violations.empty())
+        << out.violations.front() << "\n" << prog.describe();
+    EXPECT_GT(out.result.total.messages_sent, 0u);
+    EXPECT_EQ(out.result.total.messages_sent,
+              out.result.total.messages_received);
+  }
+}
+
+void run_sweep(std::uint64_t first, int count, const FuzzConfig& cfg) {
+  for (std::uint64_t seed = first; seed < first + std::uint64_t(count);
+       ++seed) {
+    const auto failure = fuzz_seed(seed, cfg);
+    if (failure) {
+      std::cerr << "fuzz failure at seed " << seed << ": " << failure->what
+                << "\nrepro: " << failure->repro << "\nminimized ("
+                << failure->minimized.total_ops() << " ops):\n"
+                << failure->minimized.describe() << "\n";
+    }
+    ASSERT_FALSE(failure) << "seed " << seed << ": " << failure->what;
+  }
+}
+
+TEST(Fuzz, DeterministicClassSeedSweep) {
+  // Deterministic-class programs (no wait_any) must be byte-identical
+  // across replay, random schedules, fault plans, and the threads engine.
+  run_sweep(sweep_base(), 60, FuzzConfig{});
+}
+
+TEST(Fuzz, ProbeClassSeedSweep) {
+  // wait_any observes physical arrival, so these programs are checked for
+  // invariants + order-insensitive receive bag + total traffic instead of
+  // full byte identity.
+  FuzzConfig cfg;
+  cfg.gen.allow_probe_class = true;
+  run_sweep(sweep_base() + 10000, 40, cfg);
+}
+
+TEST(Fuzz, SmallRankCountsSweep) {
+  // p=2 maximizes same-key pressure on the posted-receive protocol.
+  FuzzConfig cfg;
+  cfg.gen.max_ranks = 2;
+  cfg.gen.max_tag = 1;
+  cfg.gen.target_ops = 40;
+  run_sweep(sweep_base() + 20000, 40, cfg);
+}
+
+// Oracle that executes a program under the injector's TEST-ONLY broken
+// mode (preserve_key_order = false): back-to-back same-key sends get
+// strictly decreasing due steps, so the second overtakes the first unless
+// the run never lets the delay elapse.
+std::optional<std::string> broken_fifo_oracle(const CommProgram& prog) {
+  ProgramRunOptions r;
+  r.random_sched = false;
+  r.faults.seed = 1;
+  r.faults.delay_prob = 1.0;
+  r.faults.max_delay_steps = 4;
+  r.faults.preserve_key_order = false;
+  try {
+    const ProgramOutcome out = run_program(prog, r);
+    if (!out.violations.empty()) return out.violations.front();
+  } catch (const std::exception& e) {
+    return std::string("exception: ") + e.what();
+  }
+  return std::nullopt;
+}
+
+TEST(Fuzz, BrokenFifoIsCaughtAndMinimizedToTinyRepro) {
+  // The ISSUE's negative control: deliberately break per-key delivery
+  // order, confirm the harness (a) detects it on some generated program and
+  // (b) shrinks that program to a <= 10-op repro that still fails.
+  ProgGenOptions g;
+  g.max_ranks = 3;
+  g.max_tag = 1;   // few keys -> lots of same-key send pairs
+  g.target_ops = 60;
+  std::optional<CommProgram> failing;
+  std::string what;
+  for (std::uint64_t seed = 1; seed <= 200 && !failing; ++seed) {
+    CommProgram prog = generate_program(seed, g);
+    if (auto f = broken_fifo_oracle(prog)) {
+      failing = std::move(prog);
+      what = *f;
+    }
+  }
+  ASSERT_TRUE(failing.has_value())
+      << "no generated program tripped the broken-FIFO mode in 200 seeds; "
+         "the fuzzer has lost its teeth";
+  SCOPED_TRACE("seed " + std::to_string(failing->seed) + ": " + what);
+
+  const CommProgram tiny = minimize_program(*failing, broken_fifo_oracle);
+  EXPECT_LE(tiny.total_ops(), 10u)
+      << "shrink stopped too early:\n" << tiny.describe();
+  EXPECT_LE(tiny.ranks, failing->ranks);
+  const auto still = broken_fifo_oracle(tiny);
+  ASSERT_TRUE(still.has_value()) << "minimized program no longer fails";
+  // And the pass/fail signal is really the FIFO bug: the same program under
+  // the honest injector is clean.
+  ProgramRunOptions honest;
+  honest.faults.seed = 1;
+  honest.faults.delay_prob = 1.0;
+  honest.faults.max_delay_steps = 4;
+  const ProgramOutcome ok = run_program(tiny, honest);
+  EXPECT_TRUE(ok.violations.empty())
+      << "minimized repro fails even without the injected bug: "
+      << ok.violations.front();
+}
+
+TEST(Fuzz, ReproLineNamesTheReplayTest) {
+  const std::string line = repro_line(42);
+  EXPECT_NE(line.find("WAVEPIPE_FUZZ_SEED=42"), std::string::npos) << line;
+  EXPECT_NE(line.find("test_fuzz_comm"), std::string::npos) << line;
+  EXPECT_NE(line.find("Fuzz.ReplaySeed"), std::string::npos) << line;
+}
+
+TEST(Fuzz, ReplaySeed) {
+  // Replays one seed end to end; this is the test the repro line points at.
+  const char* env = std::getenv("WAVEPIPE_FUZZ_SEED");
+  if (!env) GTEST_SKIP() << "set WAVEPIPE_FUZZ_SEED=<n> to replay a seed";
+  const std::uint64_t seed = std::strtoull(env, nullptr, 10);
+  FuzzConfig cfg;
+  cfg.gen.allow_probe_class = true;  // superset: replays either sweep class
+  const auto failure = fuzz_seed(seed, cfg);
+  if (failure) {
+    std::cerr << "seed " << seed << ": " << failure->what << "\nminimized ("
+              << failure->minimized.total_ops() << " ops):\n"
+              << failure->minimized.describe() << "\n";
+  }
+  ASSERT_FALSE(failure) << failure->what;
+}
+
+}  // namespace
+}  // namespace wavepipe

@@ -4,8 +4,11 @@
 // exporter must emit loadable trace-event JSON.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <fstream>
+#include <map>
 #include <sstream>
+#include <stdexcept>
 
 #include "apps/tomcatv.hh"
 #include "array/io.hh"
@@ -261,6 +264,265 @@ TEST(ChromeExport, WritesFile) {
   std::stringstream buf;
   buf << in.rdbuf();
   EXPECT_NE(buf.str().find("\"traceEvents\""), std::string::npos);
+}
+
+// ---- Chrome-export structural checks (ISSUE 4 satellite) ----
+//
+// A minimal strict JSON parser: validates the whole document and collects
+// the scalar members of every object in the "traceEvents" array. Throws
+// std::runtime_error with a byte offset on any syntax error, so a regression
+// in the exporter fails loudly rather than "mostly loads in Perfetto".
+using Fields = std::map<std::string, std::string>;
+
+struct MiniJson {
+  const std::string& s;
+  std::size_t i = 0;
+  std::vector<Fields> events;
+
+  explicit MiniJson(const std::string& text) : s(text) {}
+
+  [[noreturn]] void fail(const char* why) const {
+    throw std::runtime_error(std::string(why) + " at byte " +
+                             std::to_string(i));
+  }
+  void skip_ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  char peek() {
+    skip_ws();
+    if (i >= s.size()) fail("unexpected end of input");
+    return s[i];
+  }
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++i;
+  }
+  std::string string_lit() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (i >= s.size()) fail("unterminated string");
+      const char c = s[i++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (i >= s.size()) fail("dangling escape");
+        out.push_back(s[i++]);
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+  std::string number_lit() {
+    skip_ws();
+    const std::size_t start = i;
+    if (i < s.size() && s[i] == '-') ++i;
+    bool digits = false;
+    while (i < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '.' ||
+            s[i] == 'e' || s[i] == 'E' || s[i] == '+' || s[i] == '-')) {
+      digits = true;
+      ++i;
+    }
+    if (!digits) fail("malformed number");
+    return s.substr(start, i - start);
+  }
+  void literal(const char* word) {
+    skip_ws();
+    for (const char* p = word; *p; ++p)
+      if (i >= s.size() || s[i++] != *p) fail("malformed literal");
+  }
+  void object(Fields* capture, bool top) {
+    expect('{');
+    if (peek() == '}') {
+      ++i;
+      return;
+    }
+    while (true) {
+      const std::string key = string_lit();
+      expect(':');
+      const char c = peek();
+      if (c == '"') {
+        const std::string v = string_lit();
+        if (capture) (*capture)[key] = v;
+      } else if (c == '{') {
+        object(nullptr, false);
+      } else if (c == '[') {
+        array(top && key == "traceEvents");
+      } else if (c == 't') {
+        literal("true");
+        if (capture) (*capture)[key] = "true";
+      } else if (c == 'f') {
+        literal("false");
+        if (capture) (*capture)[key] = "false";
+      } else if (c == 'n') {
+        literal("null");
+      } else {
+        const std::string v = number_lit();
+        if (capture) (*capture)[key] = v;
+      }
+      const char d = peek();
+      ++i;
+      if (d == ',') continue;
+      if (d == '}') return;
+      fail("expected ',' or '}'");
+    }
+  }
+  void array(bool is_events) {
+    expect('[');
+    if (peek() == ']') {
+      ++i;
+      return;
+    }
+    while (true) {
+      if (is_events) {
+        if (peek() != '{') fail("traceEvents element is not an object");
+        events.emplace_back();
+        object(&events.back(), false);
+      } else {
+        const char c = peek();
+        if (c == '{') object(nullptr, false);
+        else if (c == '[') array(false);
+        else if (c == '"') string_lit();
+        else if (c == 't') literal("true");
+        else if (c == 'f') literal("false");
+        else if (c == 'n') literal("null");
+        else number_lit();
+      }
+      const char d = peek();
+      ++i;
+      if (d == ',') continue;
+      if (d == ']') return;
+      fail("expected ',' or ']'");
+    }
+  }
+  std::vector<Fields> parse() {
+    object(nullptr, /*top=*/true);
+    skip_ws();
+    if (i != s.size()) fail("trailing garbage after document");
+    return std::move(events);
+  }
+};
+
+RunResult traced_sweep_on(EngineKind kind) {
+  EngineConfig eng;
+  eng.kind = kind;
+  const ProcGrid<2> grid = ProcGrid<2>::along_dim(4, 0);
+  Machine m(4, costs(30, 1), tracing(), eng);
+  return m.run([&](Communicator& comm) {
+    TomcatvConfig cfg;
+    cfg.n = 34;
+    Tomcatv app(cfg, grid, comm.rank());
+    WaveOptions opts;
+    opts.block = 4;
+    app.forward_elimination(comm, opts);
+  });
+}
+
+// Container events (tile, statement) span their inner events and are
+// recorded *after* them, so their t0 rewinds; every other event type must
+// appear in non-decreasing virtual-time order within its rank.
+bool is_container(const std::string& name) {
+  return name == "tile" || name == "statement";
+}
+
+TEST(ChromeExport, ParsesAsStrictJsonWithSoundEventsOnBothEngines) {
+  for (EngineKind kind : {EngineKind::kThreads, EngineKind::kFibers}) {
+    SCOPED_TRACE(to_string(kind));
+    const RunResult res = traced_sweep_on(kind);
+
+    // In-memory invariants first: balanced intervals, monotone ranks.
+    std::size_t intervals = 0, instants = 0;
+    for (const RankTrace& rt : res.traces) {
+      double last_flat = 0.0;
+      for (const TraceEvent& e : rt.events) {
+        EXPECT_GE(e.t0, 0.0);
+        EXPECT_GE(e.t1, e.t0) << to_string(e.type) << " on rank " << rt.rank;
+        (e.t1 > e.t0 ? intervals : instants) += 1;
+        if (!is_container(to_string(e.type))) {
+          EXPECT_GE(e.t0, last_flat)
+              << to_string(e.type) << " rewound rank " << rt.rank
+              << "'s clock";
+          last_flat = e.t0;
+        }
+      }
+    }
+    ASSERT_GT(intervals, 0u);
+    ASSERT_GT(instants, 0u);
+
+    std::ostringstream os;
+    write_chrome_trace(os, res);
+    std::vector<Fields> events;
+    try {
+      events = MiniJson(os.str()).parse();
+    } catch (const std::runtime_error& e) {
+      FAIL() << "export is not valid JSON: " << e.what();
+    }
+
+    // Every event names a track and a phase; the phase set is closed.
+    std::size_t x = 0, inst = 0, meta = 0;
+    std::map<int, double> last_ts;  // per tid, flat events only
+    for (const Fields& ev : events) {
+      ASSERT_TRUE(ev.count("ph"));
+      ASSERT_TRUE(ev.count("name"));
+      ASSERT_TRUE(ev.count("pid"));
+      const std::string ph = ev.at("ph");
+      if (ph == "M") {
+        ++meta;
+        continue;
+      }
+      ASSERT_TRUE(ev.count("tid"));
+      ASSERT_TRUE(ev.count("ts"));
+      const int tid = std::stoi(ev.at("tid"));
+      const double ts = std::stod(ev.at("ts"));
+      EXPECT_GE(tid, 0);
+      EXPECT_LT(tid, 4);
+      EXPECT_GE(ts, 0.0);
+      if (ph == "X") {
+        ++x;
+        ASSERT_TRUE(ev.count("dur")) << "complete slice without duration";
+        EXPECT_GT(std::stod(ev.at("dur")), 0.0);
+      } else if (ph == "i") {
+        ++inst;
+        EXPECT_FALSE(ev.count("dur"));
+      } else {
+        FAIL() << "unexpected phase '" << ph << "'";
+      }
+      if (!is_container(ev.at("name"))) {
+        EXPECT_GE(ts, last_ts[tid]) << ev.at("name") << " on tid " << tid;
+        last_ts[tid] = ts;
+      }
+    }
+    // The export mirrors the in-memory trace one-to-one: every interval
+    // becomes exactly one X slice, every zero-width event one instant, plus
+    // one process_name record and a thread_name per rank.
+    EXPECT_EQ(x, intervals);
+    EXPECT_EQ(inst, instants);
+    EXPECT_EQ(meta, 1u + res.traces.size());
+  }
+}
+
+TEST(ChromeExport, ChaoticRunExportsByteIdenticalJson) {
+  // The exporter is downstream of the trace ring, so byte-stable JSON under
+  // a random schedule is the end-to-end form of trace determinism.
+  const RunResult base = traced_sweep_on(EngineKind::kFibers);
+  EngineConfig eng;
+  eng.kind = EngineKind::kFibers;
+  eng.sched.kind = SchedKind::kRandom;
+  eng.sched.seed = 31337;
+  const ProcGrid<2> grid = ProcGrid<2>::along_dim(4, 0);
+  Machine m(4, costs(30, 1), tracing(), eng);
+  const RunResult chaotic = m.run([&](Communicator& comm) {
+    TomcatvConfig cfg;
+    cfg.n = 34;
+    Tomcatv app(cfg, grid, comm.rank());
+    WaveOptions opts;
+    opts.block = 4;
+    app.forward_elimination(comm, opts);
+  });
+  std::ostringstream a, b;
+  write_chrome_trace(a, base);
+  write_chrome_trace(b, chaotic);
+  EXPECT_EQ(a.str(), b.str());
 }
 
 TEST(TraceConfigEnv, ParsesEnablingValues) {
