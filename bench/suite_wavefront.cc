@@ -1,12 +1,54 @@
 // The wavefront benchmark suite (§6 future work): naive vs pipelined
 // execution of all five applications under the calibrated machine model,
 // with traffic statistics showing the block-size tradeoff.
+//
+// On exit the binary always writes BENCH_suite.json — per-app pipelined
+// speedup and the chosen block size, machine-readable for CI and for the
+// EXPERIMENTS.md tables. Virtual times are deterministic, so the report
+// is exactly reproducible.
+#include <fstream>
 #include <iostream>
+#include <vector>
 
 #include "apps/suite.hh"
 #include "bench_util.hh"
 
 using namespace wavepipe;
+
+namespace {
+
+struct SuiteRow {
+  std::string app;
+  Coord n = 0;
+  Coord block = 0;
+  double vtime_naive = 0.0;
+  double vtime_pipelined = 0.0;
+  double speedup() const { return vtime_naive / vtime_pipelined; }
+};
+
+void write_suite_json(const std::string& path, const MachinePreset& machine,
+                      int p, int iterations,
+                      const std::vector<SuiteRow>& rows) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot write " << path << "\n";
+    return;
+  }
+  os << "{\n  \"machine\": \"" << machine.name << "\", \"p\": " << p
+     << ", \"iterations\": " << iterations << ",\n  \"apps\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SuiteRow& r = rows[i];
+    os << "    {\"app\": \"" << r.app << "\", \"n\": " << r.n
+       << ", \"block\": " << r.block << ", \"vtime_naive\": " << r.vtime_naive
+       << ", \"vtime_pipelined\": " << r.vtime_pipelined
+       << ", \"speedup_pipelined\": " << r.speedup() << "}"
+       << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
@@ -20,6 +62,7 @@ int main(int argc, char** argv) {
                 "naive msgs", "pipelined msgs", "pipelined recv elems",
                 "pipelined recv MB"});
 
+  std::vector<SuiteRow> rows;
   const auto suite = wavefront_suite();
   for (const auto& app : suite) {
     const Coord n = app.default_n;
@@ -34,6 +77,8 @@ int main(int argc, char** argv) {
       std::cerr << "value mismatch for " << app.name << "\n";
       return 1;
     }
+    rows.push_back(
+        {app.name, n, block, naive.vtime_max, pipe.vtime_max});
     t.add_row({app.name, std::to_string(n), std::to_string(block),
                fmt(naive.vtime_max, 6), fmt(pipe.vtime_max, 6),
                fmt_speedup(naive.vtime_max / pipe.vtime_max),
@@ -45,5 +90,6 @@ int main(int argc, char** argv) {
   for (const auto& app : suite)
     t.add_note(app.name + ": " + app.wavefront_note);
   t.print(std::cout);
+  write_suite_json("BENCH_suite.json", machine, p, iterations, rows);
   return 0;
 }

@@ -17,18 +17,26 @@
 //   * kPipelined  — the language-based solution: pipeline it (Fig 4b);
 //   * kTranspose  — the array-language workaround: transpose u so the
 //     wavefront dimension becomes local, run the (now horizontal) sweep
-//     fully parallel, transpose back.
+//     fully parallel, transpose back;
+//   * kScheduled  — the dataflow solution: the whole iteration (both
+//     sweeps and both gather statements) is lowered into a tile-task graph
+//     chunked along the column dimension, so the W-E sweep chases the N-S
+//     wave chunk by chunk and successive iterations pipeline into each
+//     other instead of meeting at phase barriers.
 //
-// Both compute bit-identical fields; bench/transpose_vs_pipeline compares
-// their virtual times, quantifying the paper's "may be much slower".
+// All strategies compute bit-identical fields; bench/transpose_vs_pipeline
+// compares the first two, quantifying the paper's "may be much slower",
+// and bench/sched_overlap measures what the third recovers.
 #pragma once
 
 #include "array/transpose.hh"
 #include "exec/driver.hh"
+#include "sched/executor.hh"
+#include "sched/tags.hh"
 
 namespace wavepipe {
 
-enum class VerticalStrategy { kPipelined, kTranspose };
+enum class VerticalStrategy { kPipelined, kTranspose, kScheduled };
 
 struct AltSweepConfig {
   Coord n = 64;
@@ -47,9 +55,21 @@ class AltSweep {
   void init();
 
   /// One iteration: vertical sweep (by the chosen strategy) followed by
-  /// the horizontal sweep (always local). Collective.
+  /// the horizontal sweep (always local). Collective. kScheduled runs a
+  /// one-iteration task graph; for cross-iteration pipelining call
+  /// iterate_scheduled with the full iteration count instead.
   void iterate(Communicator& comm, VerticalStrategy strategy,
                const WaveOptions& opts = {});
+
+  /// Runs `iterations` whole iterations as one task graph: per
+  /// column-chunk tasks for the gather statements (g1, g2), the N-S wave
+  /// tiles, the per-chunk north-bound ghost messages, and the W-E sweep,
+  /// with edges encoding the data and anti dependences between them.
+  /// Bit-identical to calling iterate(kPipelined) `iterations` times with
+  /// the same options. Collective.
+  SchedReport iterate_scheduled(
+      Communicator& comm, int iterations, const WaveOptions& opts = {},
+      const SchedOptions& sched = SchedOptions::from_env());
 
   Real residual_norm(Communicator& comm);
   Real checksum(Communicator& comm);
@@ -78,6 +98,11 @@ class AltSweep {
   WavefrontPlan<2> vplan_;   // vertical line sweep (wave along dim 0)
   WavefrontPlan<2> hplan_;   // horizontal line sweep (wave along dim 1, local)
   WavefrontPlan<2> vtplan_;  // the vertical sweep in the transposed world
+
+  // Tag space for the scheduled strategy, above every hardcoded base the
+  // blocking paths use; each iterate_scheduled call allocates fresh
+  // per-iteration ranges so overlapping iterations can never collide.
+  TagAllocator tags_{800};
 };
 
 /// SPMD driver; returns the final residual norm.

@@ -19,6 +19,8 @@
 
 #include "exec/driver.hh"
 #include "exec/unfused.hh"
+#include "sched/executor.hh"
+#include "sched/tags.hh"
 
 namespace wavepipe {
 
@@ -64,6 +66,23 @@ class Sweep3d {
   /// (collective).
   Real sweep_all(Communicator& comm, const WaveOptions& opts = {});
 
+  /// sweep_all via the tile-task dataflow scheduler: every (octant, angle)
+  /// instance is lowered into one task graph and up to `slots` instances
+  /// are in flight at once over per-slot angular-flux buffers, so opposite
+  /// octants fill each other's pipeline bubbles. Flux accumulation is
+  /// serialized in (octant, angle) order by explicit edges, so the result
+  /// (flux, phi, checksum) is bit-identical to sweep_all's. Collective.
+  Real sweep_all_scheduled(Communicator& comm, const WaveOptions& opts = {},
+                           const SchedOptions& sched = SchedOptions::from_env(),
+                           SchedReport* report = nullptr, int slots = 4);
+
+  /// The tag ranges the app allocated: one wavefront_tag_span<3>() window
+  /// per (octant, angle) instance plus one for accumulation. sweep_octant
+  /// ignores WaveOptions::tag_base in favour of these — the stride between
+  /// instances is derived from the plan (via wavefront_tag_span), not
+  /// hardcoded by the caller.
+  const TagAllocator& tags() const { return tags_; }
+
   const std::vector<Ordinate>& quadrature() const { return quadrature_; }
 
   Real total_flux(Communicator& comm);
@@ -80,12 +99,19 @@ class Sweep3d {
   void octant_unfused(int octant) { run_unfused(plan_of(octant, 0)); }
 
  private:
-  WavefrontPlan<3> compile_octant(int octant, const Ordinate& ord);
+  WavefrontPlan<3> compile_octant(DenseArray<Real, 3>& phi, int octant,
+                                  const Ordinate& ord);
   const WavefrontPlan<3>& plan_of(int octant, int angle) const {
     return plans_[static_cast<std::size_t>(octant) *
                       static_cast<std::size_t>(cfg_.angles) +
                   static_cast<std::size_t>(angle)];
   }
+  const TagRange& sweep_tags(int octant, int angle) const {
+    return sweep_tags_[static_cast<std::size_t>(octant) *
+                           static_cast<std::size_t>(cfg_.angles) +
+                       static_cast<std::size_t>(angle)];
+  }
+  void ensure_slots(int slots);
 
   Sweep3dConfig cfg_;
   ProcGrid<3> grid_;
@@ -95,10 +121,24 @@ class Sweep3d {
   DenseArray<Real, 3> phi_, flux_, src_;
   std::vector<Ordinate> quadrature_;
   std::vector<WavefrontPlan<3>> plans_;  // [octant * angles + angle]
+  TagAllocator tags_{500};
+  std::vector<TagRange> sweep_tags_;  // [octant * angles + angle]
+  TagRange acc_tag_;
+  // Scheduler state: per-slot angular-flux buffers and the plans bound to
+  // them (instance i uses slot i % slots). Built on first use.
+  std::vector<std::unique_ptr<DenseArray<Real, 3>>> slot_phi_;
+  std::vector<WavefrontPlan<3>> slot_plans_;  // [octant * angles + angle]
 };
 
 /// SPMD driver: init + iterations full sweeps; returns total flux.
 Real sweep3d_spmd(Communicator& comm, const Sweep3dConfig& cfg,
                   const ProcGrid<3>& grid, const WaveOptions& opts = {});
+
+/// SPMD driver over the dataflow scheduler; bit-identical flux to
+/// sweep3d_spmd under the same config.
+Real sweep3d_spmd_scheduled(
+    Communicator& comm, const Sweep3dConfig& cfg, const ProcGrid<3>& grid,
+    const WaveOptions& opts = {},
+    const SchedOptions& sched = SchedOptions::from_env(), int slots = 4);
 
 }  // namespace wavepipe

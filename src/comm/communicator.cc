@@ -107,6 +107,10 @@ bool Communicator::probe(int src, int tag) {
   return machine_.mailbox(rank_).probe(src, tag);
 }
 
+void Communicator::set_wait_context(std::string ctx) {
+  machine_.mailbox(rank_).set_wait_context(std::move(ctx));
+}
+
 // ---- nonblocking request layer ----
 
 std::size_t Communicator::alloc_slot() {

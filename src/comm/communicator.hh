@@ -97,6 +97,13 @@ class Communicator {
   /// earliest-vtime-first; nothing may write through it.
   const double* vtime_address() const { return &vtime_; }
 
+  /// Diagnostic label for what this rank is about to block on (e.g. the
+  /// scheduler task awaiting its inflow). The fiber engine's deadlock
+  /// report appends it to the rank's entry, so a hang names the stuck
+  /// task, not just the raw irecv. Set before a potentially blocking wait,
+  /// clear with the empty string afterwards.
+  void set_wait_context(std::string ctx);
+
   // ---- point-to-point ----
 
   /// Sends `data` to rank `dst`. Buffered: returns as soon as the payload

@@ -371,6 +371,8 @@ struct FiberScheduler::Impl {
       if (f.waiting_on) {
         const std::string reqs = f.waiting_on->posted_summary();
         if (!reqs.empty()) s += " [" + reqs + "]";
+        const std::string& ctx = f.waiting_on->wait_context();
+        if (!ctx.empty()) s += " in " + ctx;
       }
     }
     return s;

@@ -136,6 +136,13 @@ class Mailbox {
   /// locks. A Machine attaches for the duration of one fiber-engine run.
   void set_blocker(MailboxBlocker* blocker) { blocker_ = blocker; }
 
+  /// Free-form label for what the owning rank is currently blocked doing
+  /// (e.g. the scheduler task whose inflow it awaits). Purely diagnostic:
+  /// the fiber engine's deadlock report appends it after the posted
+  /// receives. Set before a wait that may block, clear (empty) after.
+  void set_wait_context(std::string ctx) { wait_context_ = std::move(ctx); }
+  const std::string& wait_context() const { return wait_context_; }
+
  private:
   // (src, tag) packed into one key; src and tag are both ints (tags may be
   // negative for collectives), so the pair is lossless in 64 bits.
@@ -167,6 +174,7 @@ class Mailbox {
   MailboxBlocker* blocker_ = nullptr;
   bool poisoned_ = false;
   std::string poison_reason_;
+  std::string wait_context_;
 };
 
 }  // namespace wavepipe

@@ -21,6 +21,7 @@ const char* to_string(TraceEventType t) {
     case TraceEventType::kSendWait: return "send-wait";
     case TraceEventType::kSendComplete: return "send-complete";
     case TraceEventType::kRecvPost: return "recv-post";
+    case TraceEventType::kTask: return "task";
   }
   return "?";
 }

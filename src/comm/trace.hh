@@ -34,6 +34,7 @@ enum class TraceEventType : std::uint8_t {
   kSendWait,      // a wait on a send request that stalled for the NIC
   kSendComplete,  // instant: a send request was completed by wait/test
   kRecvPost,      // instant: an irecv was posted (never advances the clock)
+  kTask,          // one scheduler task (tag = task id, elements = cost)
 };
 
 /// Short stable name ("compute", "send", ...) used by exporters and tests.

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <array>
+#include <utility>
 
 #include "array/ghost.hh"
 #include "comm/machine.hh"
@@ -62,6 +63,151 @@ struct WaveReport {
   Coord block = 0;
 };
 
+/// Width of the tag window one run_wavefront call may touch starting at
+/// WaveOptions::tag_base: 2R tags for the bundled ghost pre-exchange (one
+/// per dimension per direction, apply_distributed's convention) plus one
+/// for the wave face messages. Callers running several wavefront phases
+/// concurrently must give each a tag_base at least this far apart — the
+/// scheduler's TagAllocator asks for exactly this span per plan instance.
+template <Rank R>
+constexpr int wavefront_tag_span() {
+  return 2 * static_cast<int>(R) + 1;
+}
+
+/// The per-rank tiling decision for one wavefront plan: whether wave
+/// communication happens at all, the w-neighbours the face messages flow
+/// between, and the (dimension, sign) the tile loop runs over. Factored
+/// out of run_wavefront so the task scheduler's lowering produces the
+/// *identical* tile decomposition — and therefore bit-identical face
+/// payloads — as the sequential executor.
+template <Rank R>
+struct WaveTiling {
+  Region<R> local;     // plan region ∩ this rank's owned block
+  bool waved = false;  // wavefront communication actually happens
+  Rank w = 0;
+  int travel = +1;
+  int pred = -1;
+  int succ = -1;
+  Rank tdim = 0;
+  int tsign = +1;
+
+  /// Local extent along the tile dimension (1 when untiled).
+  Coord extent() const { return tdim == w ? 1 : local.extent(tdim); }
+
+  /// The effective block size for a requested one (<= 0: whole extent).
+  Coord clamp_block(Coord block) const {
+    const Coord e = std::max<Coord>(extent(), 1);
+    return block <= 0 ? e : std::min<Coord>(block, e);
+  }
+
+  /// Number of tiles under block size `block`.
+  Coord tiles(Coord block) const {
+    if (tdim == w) return 1;
+    const Coord b = clamp_block(block);
+    return (extent() + b - 1) / b;
+  }
+
+  /// The j-th tile's coordinate range along tdim, in tile order.
+  std::pair<Coord, Coord> tile_range(Coord block, Coord j) const {
+    if (tdim == w) return {0, 0};
+    const Coord b = clamp_block(block);
+    if (tsign > 0) {
+      const Coord a = local.lo(tdim) + j * b;
+      return {a, std::min(local.hi(tdim), a + b - 1)};
+    }
+    const Coord z = local.hi(tdim) - j * b;
+    return {std::max(local.lo(tdim), z - b + 1), z};
+  }
+
+  /// The j-th tile region itself.
+  Region<R> tile(Coord block, Coord j) const {
+    if (tdim == w) return local;
+    const auto [ta, tb] = tile_range(block, j);
+    return local.with_dim(tdim, ta, tb);
+  }
+};
+
+/// Computes the tiling decision for `rank`. Performs run_wavefront's
+/// static legality checks (distributed dimensions must be parallel or the
+/// wavefront; every processor along w must own part of the scan region) and
+/// throws ContractError on violation.
+template <Rank R>
+WaveTiling<R> wave_tiling(const WavefrontPlan<R>& plan, const Layout<R>& layout,
+                          int rank) {
+  const ProcGrid<R>& grid = layout.grid();
+
+  // Distributed dimensions must be parallel or the wavefront dimension;
+  // serialized dimensions have no parallelism to give a processor.
+  for (Rank d = 0; d < R; ++d) {
+    if (!grid.distributed(d)) continue;
+    const DimRole role = plan.role(d);
+    require(role == DimRole::kParallel || role == DimRole::kWavefront,
+            "dimension " + std::to_string(d) +
+                " is serialized by the wavefront and may not be distributed");
+  }
+
+  WaveTiling<R> t;
+  t.local = plan.region.intersect(layout.owned(rank));
+  t.waved = plan.has_wavefront() && grid.distributed(plan.wdim()) &&
+            !plan.wave_arrays().empty();
+  if (!t.waved) return t;
+
+  t.w = plan.wdim();
+  t.travel = plan.travel();
+
+  // Every processor row along w must own part of the scan region: the wave
+  // relays nearest-neighbour, so a hole in the chain would strand it.
+  {
+    const BlockDist1D& bd = layout.dist(t.w);
+    for (int k = 0; k < bd.parts(); ++k) {
+      require(std::max(bd.block_lo(k), plan.region.lo(t.w)) <=
+                  std::min(bd.block_hi(k), plan.region.hi(t.w)),
+              "every processor along the wavefront dimension must own part "
+              "of the scan region (shrink the grid or the fluff)");
+    }
+  }
+
+  t.pred = grid.neighbor(rank, t.w, -t.travel);
+  t.succ = grid.neighbor(rank, t.w, +t.travel);
+
+  // Tile dimension and tile order. Splitting dimension t into sequentially
+  // executed tiles (sign s) is legal only when every execute-before vector
+  // c has c[t]*s >= 0 — otherwise some dependence target would run in an
+  // earlier tile than its source within a rank (this is what rules out
+  // straight column-tiling for blocks with opposing diagonal dependences;
+  // they fall back to the naive single-tile schedule). Among the legal
+  // (t, s) pairs, prefer completely parallel dimensions (the paper tiles
+  // the parallel dimension), then the in-tile loop direction, then larger
+  // local extent.
+  t.tdim = t.w;
+  t.tsign = +1;
+  {
+    auto tiling_legal = [&](Rank d, int s) {
+      for (const auto& c : plan.constraints)
+        if (c.v[d] * s < 0) return false;
+      return true;
+    };
+    std::int64_t best_score = -1;
+    for (Rank d = 0; d < R; ++d) {
+      if (d == t.w) continue;
+      for (const int s : {plan.loops.step[d], -plan.loops.step[d]}) {
+        if (!tiling_legal(d, s)) continue;
+        const std::int64_t score =
+            (plan.role(d) == DimRole::kParallel ? (std::int64_t{1} << 40) : 0) +
+            (s == plan.loops.step[d] ? (std::int64_t{1} << 20) : 0) +
+            t.local.extent(d);
+        if (score > best_score) {
+          best_score = score;
+          t.tdim = d;
+          t.tsign = s;
+        }
+        break;  // the preferred direction was legal; no need for the other
+      }
+    }
+  }
+  return t;
+}
+
 namespace detail {
 
 /// The face of `local` that flows between w-neighbours for array use `u`:
@@ -93,22 +239,12 @@ template <Rank R>
 WaveReport<R> run_wavefront(const WavefrontPlan<R>& plan,
                             const Layout<R>& layout, Communicator& comm,
                             const WaveOptions& opts = {}) {
-  const ProcGrid<R>& grid = layout.grid();
   const int rank = comm.rank();
-  require(grid.size() == comm.size(),
+  require(layout.grid().size() == comm.size(),
           "processor grid size must equal machine size");
 
-  // Distributed dimensions must be parallel or the wavefront dimension;
-  // serialized dimensions have no parallelism to give a processor.
-  for (Rank d = 0; d < R; ++d) {
-    if (!grid.distributed(d)) continue;
-    const DimRole role = plan.role(d);
-    require(role == DimRole::kParallel || role == DimRole::kWavefront,
-            "dimension " + std::to_string(d) +
-                " is serialized by the wavefront and may not be distributed");
-  }
-
-  const Region<R> local = plan.region.intersect(layout.owned(rank));
+  const WaveTiling<R> tiling = wave_tiling(plan, layout, rank);
+  const Region<R>& local = tiling.local;
 
   // Old-value ghost exchange, bundled: every array with a nonzero halo
   // contributes to one message per neighbour per dimension.
@@ -128,89 +264,28 @@ WaveReport<R> run_wavefront(const WavefrontPlan<R>& plan,
   rep.local_region = local;
 
   const auto wave_uses = plan.wave_arrays();
-  const bool waved = plan.has_wavefront() &&
-                     grid.distributed(plan.wdim()) && !wave_uses.empty();
-  if (!waved) {
+  if (!tiling.waved) {
     run_serial_on(plan, local);
     if (opts.charge) comm.compute(static_cast<double>(local.size()));
     return rep;
   }
 
-  const Rank w = plan.wdim();
-  const int travel = plan.travel();
+  const Rank w = tiling.w;
+  const int travel = tiling.travel;
+  const int pred = tiling.pred;
+  const int succ = tiling.succ;
+  const Rank tdim = tiling.tdim;
 
-  // Every processor row along w must own part of the scan region: the wave
-  // relays nearest-neighbour, so a hole in the chain would strand it.
-  {
-    const BlockDist1D& bd = layout.dist(w);
-    for (int k = 0; k < bd.parts(); ++k) {
-      require(std::max(bd.block_lo(k), plan.region.lo(w)) <=
-                  std::min(bd.block_hi(k), plan.region.hi(w)),
-              "every processor along the wavefront dimension must own part "
-              "of the scan region (shrink the grid or the fluff)");
-    }
-  }
+  const Coord b = tiling.clamp_block(opts.block);
+  const Coord m = tiling.tiles(opts.block);
 
-  const int pred = grid.neighbor(rank, w, -travel);
-  const int succ = grid.neighbor(rank, w, +travel);
-
-  // Tile dimension and tile order. Splitting dimension t into sequentially
-  // executed tiles (sign s) is legal only when every execute-before vector
-  // c has c[t]*s >= 0 — otherwise some dependence target would run in an
-  // earlier tile than its source within a rank (this is what rules out
-  // straight column-tiling for blocks with opposing diagonal dependences;
-  // they fall back to the naive single-tile schedule). Among the legal
-  // (t, s) pairs, prefer completely parallel dimensions (the paper tiles
-  // the parallel dimension), then the in-tile loop direction, then larger
-  // local extent.
-  Rank tdim = w;
-  int tsign = +1;
-  {
-    auto tiling_legal = [&](Rank d, int s) {
-      for (const auto& c : plan.constraints)
-        if (c.v[d] * s < 0) return false;
-      return true;
-    };
-    std::int64_t best_score = -1;
-    for (Rank d = 0; d < R; ++d) {
-      if (d == w) continue;
-      for (const int s : {plan.loops.step[d], -plan.loops.step[d]}) {
-        if (!tiling_legal(d, s)) continue;
-        const std::int64_t score =
-            (plan.role(d) == DimRole::kParallel ? (std::int64_t{1} << 40) : 0) +
-            (s == plan.loops.step[d] ? (std::int64_t{1} << 20) : 0) +
-            local.extent(d);
-        if (score > best_score) {
-          best_score = score;
-          tdim = d;
-          tsign = s;
-        }
-        break;  // the preferred direction was legal; no need for the other
-      }
-    }
-  }
-
-  const Coord extent = tdim == w ? 1 : local.extent(tdim);
-  const Coord b = opts.block <= 0 ? std::max<Coord>(extent, 1)
-                                  : std::min<Coord>(opts.block, std::max<Coord>(extent, 1));
-  const Coord m = tdim == w ? 1 : (extent + b - 1) / b;
-
-  // j-th tile's t-range, in tile order along tdim.
-  auto tile_range = [&](Coord j) {
-    if (tdim == w) return std::pair<Coord, Coord>{0, 0};
-    if (tsign > 0) {
-      const Coord a = local.lo(tdim) + j * b;
-      return std::pair<Coord, Coord>{a, std::min(local.hi(tdim), a + b - 1)};
-    }
-    const Coord z = local.hi(tdim) - j * b;
-    return std::pair<Coord, Coord>{std::max(local.lo(tdim), z - b + 1), z};
-  };
-
-  const int wave_tag = opts.tag_base + 64;  // clear of the ghost-tag space
+  // First tag past the bundled ghost pre-exchange's 2R-tag window; see
+  // wavefront_tag_span.
+  const int wave_tag = opts.tag_base + 2 * static_cast<int>(R);
 
   auto faces_for = [&](Coord j, bool inflow) {
     std::vector<Region<R>> fs;
-    const auto [ta, tb] = tile_range(j);
+    const auto [ta, tb] = tiling.tile_range(b, j);
     fs.reserve(wave_uses.size());
     for (const auto& u : wave_uses)
       fs.push_back(detail::wave_face(local, u, w, travel, inflow, tdim, ta, tb));
@@ -260,8 +335,7 @@ WaveReport<R> run_wavefront(const WavefrontPlan<R>& plan,
     }
     post_inflow(j + 1);
 
-    const auto [ta, tb] = tile_range(j);
-    const Region<R> tile = tdim == w ? local : local.with_dim(tdim, ta, tb);
+    const Region<R> tile = tiling.tile(b, j);
     run_serial_on(plan, tile);
     if (opts.charge) comm.compute(static_cast<double>(tile.size()));
 

@@ -1,0 +1,299 @@
+#include "sched/executor.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <queue>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "comm/communicator.hh"
+
+namespace wavepipe {
+
+const char* to_string(SchedPolicy p) {
+  switch (p) {
+    case SchedPolicy::kFifo:
+      return "fifo";
+    case SchedPolicy::kDiagonal:
+      return "diagonal";
+    case SchedPolicy::kCriticalPath:
+      return "critical";
+  }
+  return "?";
+}
+
+SchedOptions SchedOptions::from_env() {
+  SchedOptions opts;
+  if (const char* v = std::getenv("WAVEPIPE_SCHED_POLICY")) {
+    const std::string s(v);
+    if (s == "fifo") {
+      opts.policy = SchedPolicy::kFifo;
+    } else if (s == "diagonal") {
+      opts.policy = SchedPolicy::kDiagonal;
+    } else if (s == "critical" || s.empty()) {
+      opts.policy = SchedPolicy::kCriticalPath;
+    } else {
+      throw ConfigError(
+          "WAVEPIPE_SCHED_POLICY expects 'fifo', 'diagonal' or 'critical', "
+          "got '" +
+          s + "'");
+    }
+  }
+  if (const char* v = std::getenv("WAVEPIPE_SCHED_ADAPTIVE")) {
+    const std::string s(v);
+    if (s == "0") {
+      opts.adaptive = false;
+    } else if (s == "1" || s.empty()) {
+      opts.adaptive = true;
+    } else {
+      throw ConfigError("WAVEPIPE_SCHED_ADAPTIVE expects '0' or '1', got '" +
+                        s + "'");
+    }
+  }
+  return opts;
+}
+
+class SchedExecutor {
+ public:
+  SchedExecutor(const TaskGraph& graph, Communicator& comm,
+                const SchedOptions& opts)
+      : graph_(graph), comm_(comm), opts_(opts) {}
+
+  SchedReport run();
+
+  void add_send(int dst, std::span<const double> payload, int tag) {
+    sends_.push_back(comm_.isend(dst, payload, tag));
+  }
+
+ private:
+  // Smaller key runs first; ties break toward the smaller (earlier) id, so
+  // every policy is a total order and the schedule is reproducible.
+  using Key = std::pair<double, TaskId>;
+
+  Key key(TaskId t) const {
+    switch (opts_.policy) {
+      case SchedPolicy::kFifo:
+        return {0.0, t};
+      case SchedPolicy::kDiagonal:
+        return {static_cast<double>(graph_.task(t).diagonal), t};
+      case SchedPolicy::kCriticalPath:
+        return {-prio_[static_cast<std::size_t>(t)], t};
+    }
+    return {0.0, t};
+  }
+
+  /// Kahn topological pass: rejects cycles (naming a task on one) and, for
+  /// the critical-path policy, fills prio_[t] with the cost-weighted length
+  /// of the longest path from t to any sink.
+  void analyze();
+
+  void release(TaskId t);
+  void run_task(TaskId t);
+  [[noreturn]] void rethrow_deadlock(const std::vector<TaskId>& stuck,
+                                     const Error& cause) const;
+
+  const TaskGraph& graph_;
+  Communicator& comm_;
+  const SchedOptions opts_;
+
+  std::vector<int> deps_;
+  std::vector<double> prio_;
+  std::priority_queue<std::pair<Key, TaskId>,
+                      std::vector<std::pair<Key, TaskId>>, std::greater<>>
+      ready_;
+  // Released tasks whose inflow is still in flight, in irecv-posting order
+  // (wait_any and the promotion scan must see requests in that order).
+  std::vector<TaskId> pending_;
+  std::vector<Request> pending_req_;
+  std::vector<std::vector<double>> inflow_buf_;
+  std::vector<Request> sends_;
+  SchedReport report_;
+};
+
+void TaskContext::send(int dst, std::span<const double> payload, int tag) {
+  exec_.add_send(dst, payload, tag);
+}
+
+void SchedExecutor::analyze() {
+  const std::size_t n = graph_.size();
+  deps_.resize(n);
+  std::vector<TaskId> topo;
+  topo.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    deps_[i] = graph_.predecessors(static_cast<TaskId>(i));
+    if (deps_[i] == 0) topo.push_back(static_cast<TaskId>(i));
+  }
+  std::vector<int> indeg = deps_;
+  for (std::size_t head = 0; head < topo.size(); ++head) {
+    for (const TaskId s : graph_.successors(topo[head]))
+      if (--indeg[static_cast<std::size_t>(s)] == 0) topo.push_back(s);
+  }
+  if (topo.size() != n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (indeg[i] > 0)
+        throw SchedError("task graph has a dependence cycle through task '" +
+                         graph_.task(static_cast<TaskId>(i)).label + "'");
+    }
+  }
+  if (opts_.policy == SchedPolicy::kCriticalPath) {
+    prio_.assign(n, 0.0);
+    for (std::size_t i = topo.size(); i-- > 0;) {
+      const TaskId t = topo[i];
+      double tail = 0.0;
+      for (const TaskId s : graph_.successors(t))
+        tail = std::max(tail, prio_[static_cast<std::size_t>(s)]);
+      prio_[static_cast<std::size_t>(t)] = graph_.task(t).cost + tail;
+    }
+  }
+}
+
+void SchedExecutor::release(TaskId t) {
+  const TaskGraph::Task& task = graph_.task(t);
+  if (opts_.adaptive && task.inflow_src >= 0) {
+    auto& buf = inflow_buf_[static_cast<std::size_t>(t)];
+    buf.resize(task.inflow_elements);
+    pending_req_.push_back(comm_.irecv(task.inflow_src, std::span<double>(buf),
+                                       task.inflow_tag));
+    pending_.push_back(t);
+    report_.max_posted = std::max(report_.max_posted, pending_.size());
+  } else {
+    // Static mode posts the irecv lazily, when the policy picks the task —
+    // a blocking wait at that point charges the identical virtual time and
+    // keeps the pick order independent of physical arrival.
+    ready_.push({key(t), t});
+  }
+}
+
+void SchedExecutor::run_task(TaskId t) {
+  const TaskGraph::Task& task = graph_.task(t);
+  auto& buf = inflow_buf_[static_cast<std::size_t>(t)];
+  const double t0 = comm_.vtime();
+  if (!opts_.adaptive && task.inflow_src >= 0) {
+    buf.resize(task.inflow_elements);
+    Request r = comm_.irecv(task.inflow_src, std::span<double>(buf),
+                            task.inflow_tag);
+    ++report_.blocked_waits;
+    comm_.set_wait_context("task '" + task.label + "'");
+    try {
+      comm_.wait(r);
+    } catch (const EngineError& e) {
+      rethrow_deadlock({t}, e);
+    } catch (const CommError& e) {
+      // Machine poisoned (the fiber engine unwinding a deadlock): name the
+      // task this rank was stuck on as the stack unwinds.
+      rethrow_deadlock({t}, e);
+    }
+    comm_.set_wait_context("");
+  }
+  TaskContext ctx(comm_, *this);
+  ctx.inflow = std::span<const double>(buf);
+  if (task.run) task.run(ctx);
+  comm_.tracer().record(TraceEventType::kTask, t0, comm_.vtime(),
+                        task.inflow_src, static_cast<int>(t),
+                        static_cast<std::uint64_t>(task.cost));
+  std::vector<double>().swap(buf);
+  for (const TaskId s : graph_.successors(t))
+    if (--deps_[static_cast<std::size_t>(s)] == 0) release(s);
+}
+
+void SchedExecutor::rethrow_deadlock(const std::vector<TaskId>& stuck,
+                                     const Error& cause) const {
+  std::ostringstream os;
+  os << "scheduler deadlock on rank " << comm_.rank() << ": stuck on ";
+  for (std::size_t i = 0; i < stuck.size(); ++i) {
+    const TaskGraph::Task& task = graph_.task(stuck[i]);
+    os << (i == 0 ? "" : ", ") << "task '" << task.label << "' (inflow src="
+       << task.inflow_src << " tag=" << task.inflow_tag << ")";
+  }
+  os << "; " << cause.what();
+  throw SchedError(os.str());
+}
+
+SchedReport SchedExecutor::run() {
+  const std::size_t n = graph_.size();
+  report_.tasks = n;
+  report_.edges = graph_.edges();
+  report_.policy = opts_.policy;
+  report_.adaptive = opts_.adaptive;
+  analyze();
+  inflow_buf_.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    if (deps_[i] == 0) release(static_cast<TaskId>(i));
+
+  std::size_t done = 0;
+  while (done < n) {
+    if (opts_.adaptive) {
+      // Promote every pending task whose inflow has physically arrived;
+      // test() consumes the request without advancing the clock.
+      for (std::size_t i = 0; i < pending_.size();) {
+        if (comm_.test(pending_req_[i])) {
+          ready_.push({key(pending_[i]), pending_[i]});
+          pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+          pending_req_.erase(pending_req_.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+        } else {
+          ++i;
+        }
+      }
+      if (ready_.empty()) {
+        internal_check(!pending_.empty(),
+                       "scheduler starved: tasks remain but none released");
+        ++report_.blocked_waits;
+        {
+          std::string ctx = "scheduler tasks ";
+          for (std::size_t i = 0; i < pending_.size() && i < 3; ++i)
+            ctx += (i ? ", '" : "'") + graph_.task(pending_[i]).label + "'";
+          if (pending_.size() > 3)
+            ctx += ", ... (" + std::to_string(pending_.size()) + " pending)";
+          comm_.set_wait_context(std::move(ctx));
+        }
+        std::size_t idx = 0;
+        try {
+          idx = comm_.wait_any(std::span<Request>(pending_req_));
+        } catch (const EngineError& e) {
+          rethrow_deadlock(pending_, e);
+        } catch (const CommError& e) {
+          rethrow_deadlock(pending_, e);
+        }
+        comm_.set_wait_context("");
+        ready_.push({key(pending_[idx]), pending_[idx]});
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(idx));
+        pending_req_.erase(pending_req_.begin() +
+                           static_cast<std::ptrdiff_t>(idx));
+        continue;
+      }
+      const auto [k, t] = ready_.top();
+      ready_.pop();
+      for (const TaskId p : pending_)
+        if (key(p) < k) {
+          ++report_.overtakes;
+          break;
+        }
+      run_task(t);
+    } else {
+      internal_check(!ready_.empty(),
+                     "scheduler starved: tasks remain but none released");
+      const TaskId t = ready_.top().second;
+      ready_.pop();
+      run_task(t);
+    }
+    ++done;
+  }
+  try {
+    comm_.wait_all(std::span<Request>(sends_));
+  } catch (const EngineError& e) {
+    throw SchedError("scheduler deadlock on rank " +
+                     std::to_string(comm_.rank()) +
+                     " while draining task sends; " + std::string(e.what()));
+  }
+  return report_;
+}
+
+SchedReport run_graph(const TaskGraph& graph, Communicator& comm,
+                      const SchedOptions& opts) {
+  SchedExecutor exec(graph, comm, opts);
+  return exec.run();
+}
+
+}  // namespace wavepipe

@@ -1,0 +1,101 @@
+// Dependence-counting execution of a TaskGraph on one rank.
+//
+// The executor keeps a dependence count per task. When a task's count hits
+// zero it is *released*: its inflow irecv (if any) is posted — posting is
+// free under the virtual-time rules and release order preserves per-tag
+// FIFO because same-tag tasks are chained by edges — and the task joins
+// either the ready set (no inflow) or the pending set (inflow posted).
+// The main loop repeatedly picks a task by the configured priority policy
+// and runs it; outflow sends issued by task bodies are nonblocking and
+// settled in posting order after the graph drains, so the send engine
+// overlaps under later tiles exactly as WaveOptions::overlap does.
+//
+// Two arrival modes:
+//
+//   * adaptive (default): pending tasks whose inflow has arrived (test())
+//     are promoted into the ready set, and the policy picks among
+//     everything runnable; only when nothing is runnable does the rank
+//     block in wait_any over every posted inflow. This is the dataflow
+//     behaviour — the rank never stalls while any tile can run. It is
+//     probe-class: *results* are byte-identical under any schedule or
+//     fault plan (payloads and reduction order are fixed by the graph),
+//     but virtual times may legitimately differ under chaos because the
+//     pick order observes physical arrival.
+//
+//   * static: the policy picks over released tasks ignoring physical
+//     arrival, and blocks (wait) on the chosen task's inflow. The entire
+//     RunResult — vtimes, phases, stats, traces — is then a pure function
+//     of the graph and the policy: byte-identical under every fiber
+//     schedule and fault plan, like the blocking executors.
+//
+//     Caveat: static blocking is only deadlock-free when every rank's pick
+//     order embeds into one global schedule. kFifo is safe whenever tasks
+//     are constructed in sequential-program order (as the lowering helpers
+//     do); priority policies may rank a receive above the send its peer is
+//     waiting on and deadlock even though the graph is acyclic. Adaptive
+//     mode has no such failure (it blocks only when *nothing* can run),
+//     which is one more reason it is the default. Either kind of stall is
+//     reported, not hung: see below.
+//
+// Either way the computed data is bit-identical to sequential execution,
+// because payload bytes are FIFO per (src, tag) and every
+// order-sensitive reduction is serialized by explicit edges.
+//
+// Deadlock reporting: before every blocking wait the executor publishes
+// the stuck task's label as the rank's wait context, so the fiber engine's
+// all-blocked report reads "rank 1 [irecv(src=0, tag=804)] in task
+// 'v[i0][5]'"; if instead the poison reaches this rank's wait first, the
+// unwind rethrows SchedError naming the same task(s).
+#pragma once
+
+#include "sched/graph.hh"
+
+namespace wavepipe {
+
+class Communicator;
+
+/// How the ready set is ordered.
+enum class SchedPolicy {
+  kFifo,          // insertion order (task id): mirrors sequential execution
+  kDiagonal,      // smallest wavefront-diagonal key first
+  kCriticalPath,  // longest remaining cost-weighted path first (default)
+};
+
+const char* to_string(SchedPolicy p);
+
+struct SchedOptions {
+  SchedPolicy policy = SchedPolicy::kCriticalPath;
+  /// Arrival-aware task pickup (see header comment). Probe-class when
+  /// true; fully schedule/fault-invariant when false.
+  bool adaptive = true;
+
+  /// WAVEPIPE_SCHED_POLICY=fifo|diagonal|critical selects the policy;
+  /// WAVEPIPE_SCHED_ADAPTIVE=0|1 selects the arrival mode. (Distinct from
+  /// WAVEPIPE_SCHED, which seeds the *fiber* scheduler.) Unparseable
+  /// values throw ConfigError.
+  static SchedOptions from_env();
+};
+
+struct SchedReport {
+  std::size_t tasks = 0;
+  std::size_t edges = 0;
+  SchedPolicy policy = SchedPolicy::kCriticalPath;
+  bool adaptive = true;
+  /// Times the policy ran an arrived task while an earlier-priority task
+  /// was still pending — the overlap the dataflow scheduler recovered.
+  std::size_t overtakes = 0;
+  /// Blocking waits (ready set empty, or static-mode inflow waits).
+  std::size_t blocked_waits = 0;
+  /// High-water mark of simultaneously posted inflow irecvs.
+  std::size_t max_posted = 0;
+};
+
+/// Runs the graph to completion on this rank. Collective only through the
+/// tasks' own sends/receives: ranks whose graphs exchange messages must all
+/// call run_graph with matching endpoints. Throws SchedError on a
+/// dependence cycle, and converts an engine-detected communication deadlock
+/// into a SchedError naming the task(s) that were stuck.
+SchedReport run_graph(const TaskGraph& graph, Communicator& comm,
+                      const SchedOptions& opts = SchedOptions::from_env());
+
+}  // namespace wavepipe

@@ -1,0 +1,31 @@
+#include "sched/graph.hh"
+
+namespace wavepipe {
+
+TaskId TaskGraph::add(Task t) {
+  require(t.inflow_src < 0 || t.inflow_elements > 0,
+          "a task inflow must carry at least one element");
+  require(t.inflow_src < 0 || t.inflow_tag >= 0,
+          "user message tags must be >= 0");
+  require(t.cost >= 0.0, "task cost must be >= 0");
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+  tasks_.push_back(std::move(t));
+  succs_.emplace_back();
+  preds_.push_back(0);
+  return id;
+}
+
+void TaskGraph::add_edge(TaskId before, TaskId after) {
+  const std::size_t b = check(before);
+  require(before != after, "a task cannot depend on itself");
+  const std::size_t a = check(after);
+  // Duplicate edges are common when several arrays impose the same order;
+  // collapsing them here keeps dependence counts exact.
+  for (const TaskId s : succs_[b])
+    if (s == after) return;
+  succs_[b].push_back(after);
+  ++preds_[a];
+  ++edge_count_;
+}
+
+}  // namespace wavepipe

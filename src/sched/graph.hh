@@ -1,0 +1,114 @@
+// The tile-task dataflow graph.
+//
+// A node is one unit of rank-local work — a pipeline tile of a wavefront
+// instance, a chunk of a parallel statement, a ghost pack/send, a reduction
+// step. Edges are execute-before constraints: the intra-plan ones fall out
+// of a plan's UDV/WSV analysis (tile j depends on tile j-1 whenever the
+// tiling legality condition c[t]*s >= 0 forces an order), and inter-plan
+// ones are declared explicitly by the program that lowers several plans
+// into one graph (SWEEP3D's in-order flux accumulation, ALT's V -> G2 -> H
+// chunk chains). A task may additionally consume at most one message
+// (its "inflow") — the executor posts the irecv, and the payload is handed
+// to the task body when it runs.
+//
+// The graph is rank-local and pure data: building it performs no
+// communication, and running it (sched/executor.hh) is an SPMD collective
+// only because the tasks themselves send and receive.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/error.hh"
+
+namespace wavepipe {
+
+class Communicator;
+class SchedExecutor;
+
+/// A scheduler failure: a dependence cycle, a starved graph (tasks remain
+/// but none can ever run), or a communication deadlock attributed to the
+/// task that was waiting — so reports name the stuck *task*, not just the
+/// stuck recv.
+class SchedError : public Error {
+ public:
+  explicit SchedError(const std::string& what) : Error(what) {}
+};
+
+using TaskId = std::int32_t;
+inline constexpr TaskId kNoTask = -1;
+
+/// What a running task sees. `inflow` is the task's received payload
+/// (empty when the task declared none); send() issues a nonblocking send
+/// whose completion the executor settles in posting order after the graph
+/// drains — the payload is copied out immediately, so temporaries are fine.
+class TaskContext {
+ public:
+  Communicator& comm;
+  std::span<const double> inflow;
+
+  void send(int dst, std::span<const double> payload, int tag);
+
+ private:
+  friend class SchedExecutor;
+  TaskContext(Communicator& c, SchedExecutor& e) : comm(c), exec_(e) {}
+  SchedExecutor& exec_;
+};
+
+class TaskGraph {
+ public:
+  struct Task {
+    /// Shown in traces and deadlock reports.
+    std::string label;
+    /// Estimated work (elements), the critical-path policy's edge weight.
+    double cost = 1.0;
+    /// Wavefront-diagonal priority key (smaller runs first under the
+    /// diagonal policy); typically fill level / hyperplane index.
+    std::int64_t diagonal = 0;
+    /// The one message this task consumes, or inflow_src < 0 for none.
+    int inflow_src = -1;
+    int inflow_tag = 0;
+    std::size_t inflow_elements = 0;
+    /// The body; may be empty for pure receive/join tasks (the inflow, if
+    /// any, is still received — into the buffer run() would have seen).
+    std::function<void(TaskContext&)> run;
+  };
+
+  /// Adds a task and returns its id (ids are dense, in insertion order —
+  /// the FIFO policy's key).
+  TaskId add(Task t);
+
+  /// Declares that `before` must complete before `after` may start.
+  void add_edge(TaskId before, TaskId after);
+
+  /// Convenience: add_edge(before, after) unless before == kNoTask.
+  void add_edge_if(TaskId before, TaskId after) {
+    if (before != kNoTask) add_edge(before, after);
+  }
+
+  std::size_t size() const { return tasks_.size(); }
+  std::size_t edges() const { return edge_count_; }
+  const Task& task(TaskId id) const { return tasks_[check(id)]; }
+
+  const std::vector<TaskId>& successors(TaskId id) const {
+    return succs_[check(id)];
+  }
+  int predecessors(TaskId id) const { return preds_[check(id)]; }
+
+ private:
+  std::size_t check(TaskId id) const {
+    require(id >= 0 && static_cast<std::size_t>(id) < tasks_.size(),
+            "task id out of range");
+    return static_cast<std::size_t>(id);
+  }
+
+  std::vector<Task> tasks_;
+  std::vector<std::vector<TaskId>> succs_;
+  std::vector<int> preds_;  // incoming-edge counts
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace wavepipe

@@ -1,0 +1,165 @@
+// Lowering a compiled WavefrontPlan into tile tasks.
+//
+// lower_wavefront() appends to a TaskGraph exactly the tile decomposition
+// run_wavefront would execute (same WaveTiling, same faces, same bundled
+// face payloads), as a chain of tasks: tile j consumes the predecessor
+// rank's face message, unpacks it, computes the tile, and sends its own
+// outflow face to the successor. The intra-instance edges j-1 -> j encode
+// both the paper's tiling legality order and the per-(src, tag) FIFO
+// discipline — with them in place any interleaving of several lowered
+// instances keeps every wave's messages matched to the right tiles.
+//
+// What lowering deliberately does NOT do:
+//   * no ghost pre-exchange (run_wavefront's pre_exchange): programs that
+//     need old-value halos model them as their own tasks, with edges
+//     expressing their real ordering constraints;
+//   * no inter-instance edges: flux accumulation order, buffer reuse
+//     (WAR) and similar cross-plan constraints are the caller's knowledge
+//     and are declared with TaskGraph::add_edge.
+//
+// Lifetime: the emitted task bodies capture `plan` and `layout` by
+// reference — both must outlive run_graph().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "array/ghost.hh"
+#include "exec/pipelined.hh"
+#include "exec/serial.hh"
+#include "sched/graph.hh"
+#include "sched/tags.hh"
+
+namespace wavepipe {
+
+template <Rank R>
+struct LoweredWave {
+  /// The instance's tile tasks in tile order; size() == tiling.tiles(block)
+  /// when waved, exactly 1 otherwise.
+  std::vector<TaskId> tiles;
+  WaveTiling<R> tiling;
+  /// The effective (clamped) block size.
+  Coord block = 0;
+};
+
+struct LowerOptions {
+  /// Requested tile size along the tile dimension; <= 0 means the whole
+  /// local extent (one tile).
+  Coord block = 0;
+  /// Charge one virtual-time unit of compute per element.
+  bool charge = true;
+  /// Added to the tile index to form each task's wavefront-diagonal key, so
+  /// several instances lowered into one graph interleave by global fill
+  /// level under the diagonal policy.
+  std::int64_t base_diagonal = 0;
+};
+
+/// Lowers one plan instance for `rank` into `g`. `tags` must span at least
+/// wavefront_tag_span<R>() tags and belong to this instance alone; the wave
+/// messages use the same in-window offset (base + 2R) as run_wavefront, so
+/// a scheduled rank can interoperate with a rank running run_wavefront on
+/// the same tag base. Tasks are labelled "<label>[j]".
+template <Rank R>
+LoweredWave<R> lower_wavefront(TaskGraph& g, const WavefrontPlan<R>& plan,
+                               const Layout<R>& layout, int rank,
+                               const TagRange& tags, const std::string& label,
+                               const LowerOptions& opts = {}) {
+  LoweredWave<R> lw;
+  lw.tiling = wave_tiling(plan, layout, rank);
+  const WaveTiling<R>& t = lw.tiling;
+
+  if (!t.waved) {
+    lw.block = t.clamp_block(opts.block);
+    TaskGraph::Task task;
+    task.label = label;
+    task.cost = static_cast<double>(t.local.size());
+    task.diagonal = opts.base_diagonal;
+    const Region<R> local = t.local;
+    const bool charge = opts.charge;
+    task.run = [&plan, local, charge](TaskContext& ctx) {
+      run_serial_on(plan, local);
+      if (charge) ctx.comm.compute(static_cast<double>(local.size()));
+    };
+    lw.tiles.push_back(g.add(std::move(task)));
+    return lw;
+  }
+
+  require(tags.count >= wavefront_tag_span<R>(),
+          "tag range too narrow for a wavefront instance (need "
+          "wavefront_tag_span tags)");
+  const int wave_tag = tags.base + 2 * static_cast<int>(R);
+  const Coord b = t.clamp_block(opts.block);
+  const Coord m = t.tiles(opts.block);
+  lw.block = b;
+
+  const auto wave_uses = plan.wave_arrays();
+  // Takes the tiling as a parameter (instead of capturing `t`, a reference
+  // into the eventual return value) because task bodies value-capture this
+  // lambda and run long after lower_wavefront returns.
+  auto faces_for = [wave_uses](const WaveTiling<R>& wt, Coord block, Coord j,
+                               bool inflow) {
+    std::vector<Region<R>> fs;
+    const auto [ta, tb] = wt.tile_range(block, j);
+    fs.reserve(wave_uses.size());
+    for (const auto& u : wave_uses)
+      fs.push_back(detail::wave_face(wt.local, u, wt.w, wt.travel, inflow,
+                                     wt.tdim, ta, tb));
+    return fs;
+  };
+
+  for (Coord j = 0; j < m; ++j) {
+    TaskGraph::Task task;
+    task.label = label + "[" + std::to_string(j) + "]";
+    const Region<R> tile = t.tile(b, j);
+    task.cost = static_cast<double>(tile.size());
+    task.diagonal = opts.base_diagonal + j;
+
+    if (t.pred >= 0) {
+      std::size_t total = 0;
+      for (const auto& f : faces_for(t, b, j, /*inflow=*/true))
+        total += static_cast<std::size_t>(f.size());
+      task.inflow_src = t.pred;
+      task.inflow_tag = wave_tag;
+      task.inflow_elements = total;
+    }
+
+    const bool charge = opts.charge;
+    const int succ = t.succ;
+    task.run = [&plan, tiling = t, wave_uses, faces_for, b, j, tile, charge,
+                succ, wave_tag](TaskContext& ctx) {
+      if (tiling.pred >= 0) {
+        const auto fs = faces_for(tiling, b, j, /*inflow=*/true);
+        std::size_t off = 0;
+        for (std::size_t ui = 0; ui < fs.size(); ++ui) {
+          const std::size_t n = static_cast<std::size_t>(fs[ui].size());
+          require(wave_uses[ui].array->region().contains(fs[ui]),
+                  "array '" + wave_uses[ui].name() +
+                      "' allocates too little fluff for the wave inflow face");
+          unpack_region(*wave_uses[ui].array, fs[ui],
+                        ctx.inflow.subspan(off, n));
+          off += n;
+        }
+      }
+      run_serial_on(plan, tile);
+      if (charge) ctx.comm.compute(static_cast<double>(tile.size()));
+      if (succ >= 0) {
+        std::vector<Real> buf;
+        const auto fs = faces_for(tiling, b, j, /*inflow=*/false);
+        for (std::size_t ui = 0; ui < fs.size(); ++ui) {
+          require(wave_uses[ui].array->region().contains(fs[ui]),
+                  "array '" + wave_uses[ui].name() +
+                      "' allocates too little fluff for the wave outflow face");
+          pack_region_into(*wave_uses[ui].array, fs[ui], buf);
+        }
+        ctx.send(succ, std::span<const Real>(buf), wave_tag);
+      }
+    };
+
+    const TaskId id = g.add(std::move(task));
+    if (j > 0) g.add_edge(lw.tiles.back(), id);
+    lw.tiles.push_back(id);
+  }
+  return lw;
+}
+
+}  // namespace wavepipe

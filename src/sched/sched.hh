@@ -1,0 +1,7 @@
+// Umbrella header for the tile-task dataflow scheduler.
+#pragma once
+
+#include "sched/executor.hh"
+#include "sched/graph.hh"
+#include "sched/lower.hh"
+#include "sched/tags.hh"

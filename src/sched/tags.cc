@@ -1,0 +1,32 @@
+#include "sched/tags.hh"
+
+#include <limits>
+#include <sstream>
+
+namespace wavepipe {
+
+TagRange TagAllocator::alloc(int count, std::string what) {
+  require(count > 0, "a tag range must contain at least one tag");
+  require(next_ <= std::numeric_limits<int>::max() - count,
+          "tag space exhausted");
+  const TagRange r{next_, count};
+  next_ += count;
+  entries_.push_back({r, std::move(what)});
+  return r;
+}
+
+std::string TagAllocator::owner_of(int tag) const {
+  for (const auto& e : entries_)
+    if (e.range.contains(tag)) return e.what;
+  return {};
+}
+
+std::string TagAllocator::describe() const {
+  std::ostringstream os;
+  for (const auto& e : entries_)
+    os << "[" << e.range.base << ", " << e.range.end() << ") " << e.what
+       << "\n";
+  return os.str();
+}
+
+}  // namespace wavepipe

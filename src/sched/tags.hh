@@ -1,0 +1,75 @@
+// Message-tag allocation for programs with many communication phases in
+// flight at once.
+//
+// Every distributed phase (a ghost exchange, a pipelined wavefront, one
+// (octant, angle) sweep instance) owns a contiguous tag range, and FIFO
+// matching is per (src, tag) — so two phases whose messages may coexist
+// must never share a tag. Historically callers picked bases by hand
+// (tag_base + 16 * octant and friends), which silently collided the moment
+// a statement consumed more tags than the hardcoded stride — the class of
+// bug PR 1 fixed in apply_distributed. The allocator makes the stride an
+// output of the plan instead of an input from the caller: phases ask for
+// the span they need and get a range that cannot overlap any other.
+//
+// Allocation is deterministic (a pure function of the call sequence), so
+// SPMD ranks that allocate in the same order agree on every range without
+// communicating — the same reasoning apply_distributed uses for its
+// first-appearance array ordering.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/error.hh"
+
+namespace wavepipe {
+
+/// A contiguous range of message tags [base, base + count).
+struct TagRange {
+  int base = 0;
+  int count = 0;
+
+  int end() const { return base + count; }
+  bool contains(int tag) const { return tag >= base && tag < end(); }
+
+  friend bool operator==(const TagRange&, const TagRange&) = default;
+};
+
+/// Hands out disjoint tag ranges, never reusing one. Keeps a label per
+/// range so diagnostics (deadlock reports, describe()) can say which phase
+/// a tag belongs to.
+class TagAllocator {
+ public:
+  explicit TagAllocator(int base = 0) : next_(base) {
+    require(base >= 0, "user message tags must be >= 0");
+  }
+
+  /// Allocates `count` consecutive tags. `what` labels the range for
+  /// diagnostics only.
+  TagRange alloc(int count, std::string what = {});
+
+  /// Allocates a single tag.
+  int alloc_one(std::string what = {}) {
+    return alloc(1, std::move(what)).base;
+  }
+
+  /// The next tag a future alloc() would return.
+  int next() const { return next_; }
+
+  /// The label of the range containing `tag`, or an empty string.
+  std::string owner_of(int tag) const;
+
+  /// One line per allocated range: "[base, end) what".
+  std::string describe() const;
+
+ private:
+  struct Entry {
+    TagRange range;
+    std::string what;
+  };
+
+  int next_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace wavepipe

@@ -24,3 +24,4 @@
 #include "lang/scan_block.hh"    // scan blocks, the prime operator, plans
 #include "model/machines.hh"     // calibrated machine presets
 #include "model/model.hh"        // the paper's Model1/Model2
+#include "sched/sched.hh"        // tile-task dataflow scheduler

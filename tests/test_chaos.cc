@@ -9,7 +9,9 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "apps/alt_sweep.hh"
 #include "apps/simple_hydro.hh"
+#include "apps/sweep3d.hh"
 #include "apps/tomcatv.hh"
 #include "array/io.hh"
 #include "exec/pipelined.hh"
@@ -304,6 +306,162 @@ TEST(Faults, WavefrontSimpleByteIdenticalUnderChaos) {
   }
 }
 
+TEST(Faults, ScheduledSweep3dByteIdenticalUnderChaos) {
+  // The overlapped (dataflow-scheduled) SWEEP3D under random fiber
+  // schedules x fault plans at p in {2,4,8}. Adaptive mode is probe-class:
+  // computed values are bitwise-invariant but virtual times may shift with
+  // physical arrival, so the adaptive check compares extracted values; the
+  // static-FIFO mode is fully invariant and gets the expect_identical
+  // treatment (vtimes, stats, phases, traces).
+  const CostModel cm = t3e_like().costs;
+  for (int p : {2, 4, 8}) {
+    Sweep3dConfig cfg;
+    cfg.n = 8;
+    cfg.angles = 1;
+    const ProcGrid<3> grid = ProcGrid<3>::along_dim(p, 0);
+    const auto body_with = [&](const SchedOptions& so) {
+      return [&, so](Communicator& comm, std::vector<double>& extracted) {
+        Sweep3d app(cfg, grid, comm.rank());
+        WaveOptions opts;
+        opts.block = 2;
+        opts.overlap = true;
+        const Real f = app.sweep_all_scheduled(comm, opts, so);
+        const Real cs = app.checksum(comm);
+        if (comm.rank() == 0) {
+          extracted.push_back(f);
+          extracted.push_back(cs);
+        }
+      };
+    };
+
+    const auto adaptive = body_with(SchedOptions{});  // adaptive critical
+    const auto base = run_deterministic(p, cm, adaptive);
+    for (std::uint64_t seed : {3u, 4u, 5u}) {
+      ChaosOptions opts;
+      opts.random_sched = true;
+      opts.sched_seed = seed;
+      opts.faults = FaultPlan::from_seed(seed * 17, p);
+      SCOPED_TRACE("adaptive p=" + std::to_string(p) + " seed=" +
+                   std::to_string(seed));
+      EXPECT_EQ(run_under(p, cm, opts, adaptive).extracted, base.extracted);
+    }
+
+    SchedOptions stat;
+    stat.policy = SchedPolicy::kFifo;
+    stat.adaptive = false;
+    const auto fifo = body_with(stat);
+    const auto sbase = run_deterministic(p, cm, fifo);
+    EXPECT_EQ(sbase.extracted, base.extracted);  // mode changes nothing
+    for (std::uint64_t seed : {6u, 7u}) {
+      ChaosOptions opts;
+      opts.random_sched = true;
+      opts.sched_seed = seed;
+      opts.trace.enabled = true;
+      opts.faults = FaultPlan::from_seed(seed * 17, p);
+      SCOPED_TRACE("static p=" + std::to_string(p) + " seed=" +
+                   std::to_string(seed));
+      expect_identical(sbase, run_under(p, cm, opts, fifo));
+    }
+  }
+}
+
+TEST(Faults, ScheduledAltSweepByteIdenticalUnderChaos) {
+  // Same contract for the alternating sweep's scheduled strategy, whose
+  // graph mixes wavefront tiles with parallel statements and northbound
+  // update messages across iterations.
+  const CostModel cm = t3e_like().costs;
+  for (int p : {2, 4, 8}) {
+    AltSweepConfig cfg;
+    cfg.n = 32;
+    cfg.iterations = 2;
+    const ProcGrid<2> grid = ProcGrid<2>::along_dim(p, 0);
+    const auto body_with = [&](const SchedOptions& so) {
+      return [&, so](Communicator& comm, std::vector<double>& extracted) {
+        AltSweep app(cfg, grid, comm.rank());
+        WaveOptions opts;
+        opts.block = 8;
+        opts.overlap = true;
+        app.iterate_scheduled(comm, cfg.iterations, opts, so);
+        const Real r = app.residual_norm(comm);
+        const Real cs = app.checksum(comm);
+        if (comm.rank() == 0) {
+          extracted.push_back(r);
+          extracted.push_back(cs);
+        }
+      };
+    };
+
+    const auto adaptive = body_with(SchedOptions{});
+    const auto base = run_deterministic(p, cm, adaptive);
+    for (std::uint64_t seed : {3u, 4u, 5u}) {
+      ChaosOptions opts;
+      opts.random_sched = true;
+      opts.sched_seed = seed;
+      opts.faults = FaultPlan::from_seed(seed * 13, p);
+      SCOPED_TRACE("adaptive p=" + std::to_string(p) + " seed=" +
+                   std::to_string(seed));
+      EXPECT_EQ(run_under(p, cm, opts, adaptive).extracted, base.extracted);
+    }
+
+    SchedOptions stat;
+    stat.policy = SchedPolicy::kFifo;
+    stat.adaptive = false;
+    const auto fifo = body_with(stat);
+    const auto sbase = run_deterministic(p, cm, fifo);
+    EXPECT_EQ(sbase.extracted, base.extracted);
+    for (std::uint64_t seed : {6u, 7u}) {
+      ChaosOptions opts;
+      opts.random_sched = true;
+      opts.sched_seed = seed;
+      opts.trace.enabled = true;
+      opts.faults = FaultPlan::from_seed(seed * 13, p);
+      SCOPED_TRACE("static p=" + std::to_string(p) + " seed=" +
+                   std::to_string(seed));
+      expect_identical(sbase, run_under(p, cm, opts, fifo));
+    }
+  }
+}
+
+TEST(Faults, SchedulerDeadlockUnderChaosNamesTheStuckTask) {
+  // The executor's documented static-priority deadlock (rank 0's pick
+  // order blocks on a receive whose sender rank 1 is itself blocked) must
+  // surface as a typed error naming the stuck *task* — never hang — even
+  // while the fault injector holds messages in limbo. Static pick order is
+  // a pure function of graph + policy, so the deadlock fires under every
+  // seed.
+  const CostModel cm = t3e_like().costs;
+  AltSweepConfig cfg;
+  cfg.n = 48;
+  cfg.iterations = 4;
+  const ProcGrid<2> grid = ProcGrid<2>::along_dim(2, 0);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    ChaosOptions opts;
+    opts.random_sched = true;
+    opts.sched_seed = seed;
+    opts.faults.seed = seed;
+    opts.faults.delay_prob = 0.8;
+    opts.faults.max_delay_steps = 25;
+    try {
+      run_chaotic(2, cm, opts, [&](Communicator& comm) {
+        AltSweep app(cfg, grid, comm.rank());
+        WaveOptions wopts;
+        wopts.block = 8;
+        wopts.overlap = true;
+        SchedOptions so;
+        so.policy = SchedPolicy::kCriticalPath;
+        so.adaptive = false;
+        app.iterate_scheduled(comm, cfg.iterations, wopts, so);
+      });
+      FAIL() << "seed " << seed << ": deadlock did not throw";
+    } catch (const Error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("deadlock"), std::string::npos) << what;
+      EXPECT_NE(what.find("task '"), std::string::npos)
+          << "report should name the stuck task: " << what;
+    }
+  }
+}
+
 TEST(Faults, SlowedRankChangesScheduleNotResults) {
   CostModel cm;
   cm.alpha = 7.0;
@@ -396,7 +554,9 @@ TEST(Faults, UnreceivedMessagesEndUpInMailboxesAfterChaos) {
   EXPECT_GE(injector.held_total(), 1u);
   // Drain for reuse.
   m.run([](Communicator& comm) {
-    if (comm.rank() == 1) EXPECT_EQ(comm.recv_value<int>(0, 4), 5);
+    if (comm.rank() == 1) {
+      EXPECT_EQ(comm.recv_value<int>(0, 4), 5);
+    }
   });
   EXPECT_EQ(m.pending_messages(), 0u);
 }
