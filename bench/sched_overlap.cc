@@ -84,12 +84,14 @@ Point sweep3d_point(int p, const CostModel& costs, const Sweep3dConfig& cfg,
       Machine::run(p, costs,
                    [&](Communicator& comm) {
                      Sweep3d app(cfg, grid, comm.rank());
+                     SchedReport mine;  // ranks may run concurrently
                      const Real f = app.sweep_all_scheduled(comm, opts, sched,
-                                                            &rep);
+                                                            &mine);
                      const Real cs = app.checksum(comm);
                      if (comm.rank() == 0) {
                        sch.value = f;
                        sch.checksum = cs;
+                       rep = mine;
                      }
                    })
           .vtime_max;

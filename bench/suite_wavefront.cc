@@ -1,6 +1,9 @@
 // The wavefront benchmark suite (§6 future work): naive vs pipelined
 // execution of all five applications under the calibrated machine model,
-// with traffic statistics showing the block-size tradeoff.
+// with traffic statistics showing the block-size tradeoff. Wall-clock
+// seconds of each run are printed next to the virtual times (they measure
+// host simulation effort here; bench/parallel_wallclock measures real
+// parallel elapsed time under WAVEPIPE_ENGINE=parallel).
 //
 // On exit the binary always writes BENCH_suite.json — per-app pipelined
 // speedup and the chosen block size, machine-readable for CI and for the
@@ -59,8 +62,8 @@ int main(int argc, char** argv) {
   Table t("Wavefront suite: naive vs pipelined (" + std::string(machine.name) +
           ", p=" + std::to_string(p) + ")");
   t.set_header({"app", "n", "b", "naive vtime", "pipelined vtime", "speedup",
-                "naive msgs", "pipelined msgs", "pipelined recv elems",
-                "pipelined recv MB"});
+                "naive s", "pipelined s", "naive msgs", "pipelined msgs",
+                "pipelined recv elems", "pipelined recv MB"});
 
   std::vector<SuiteRow> rows;
   const auto suite = wavefront_suite();
@@ -82,6 +85,7 @@ int main(int argc, char** argv) {
     t.add_row({app.name, std::to_string(n), std::to_string(block),
                fmt(naive.vtime_max, 6), fmt(pipe.vtime_max, 6),
                fmt_speedup(naive.vtime_max / pipe.vtime_max),
+               fmt(naive.wall_seconds, 4), fmt(pipe.wall_seconds, 4),
                std::to_string(naive.total.messages_sent),
                std::to_string(pipe.total.messages_sent),
                std::to_string(pipe.total.elements_received),

@@ -146,8 +146,21 @@ Communicator::RequestState& Communicator::resolve(const Request& r) {
 void Communicator::release(Request& r, RequestState& s) {
   s.kind = RequestState::Kind::kNone;
   ++s.gen;  // any copy of this handle is now detectably stale
-  free_slots_.push_back(static_cast<std::size_t>(r.id_ & 0xffffffffu) - 1);
+  // Generation wrap-around would resurrect the slot's oldest stale handles
+  // (a 2^32-use ABA). Retire the slot instead of recycling it: with kind
+  // stuck at kNone and the slot never returned to the free list, every old
+  // handle keeps throwing CommError no matter what gen it carries.
+  if (s.gen != 0)
+    free_slots_.push_back(static_cast<std::size_t>(r.id_ & 0xffffffffu) - 1);
   r.id_ = 0;
+}
+
+Request Communicator::debug_rewrite_request_gen(Request r,
+                                                std::uint32_t gen) {
+  RequestState& s = resolve(r);
+  s.gen = gen;
+  return Request((static_cast<std::uint64_t>(gen) << 32) |
+                 (r.id_ & 0xffffffffu));
 }
 
 Request Communicator::isend_bytes(int dst, int tag,
@@ -254,6 +267,11 @@ bool Communicator::test(Request& r) {
     if (s.complete_vtime > vtime_) return false;
     complete_send(s, /*allow_stall=*/false);
   } else {
+    // Real-time-safe polling seam: under the parallel engine arrivals sit
+    // in lock-free channels until the owner drains them; poll() does that
+    // drain (and is a no-op under the other engines), so test() sees every
+    // physically arrived message without blocking or locking.
+    machine_.mailbox(rank_).poll();
     if (!s.posted.done()) return false;
     if (s.posted.msg.arrival_vtime > vtime_) return false;
     complete_recv(s.posted.msg, s.out, s.expected_elements, s.peer, s.tag);

@@ -301,7 +301,9 @@ class Communicator {
   /// One pending nonblocking operation. Slots live in a deque (stable
   /// addresses — the mailbox keeps a pointer to `posted` while a recv is
   /// pending) and are recycled through free_slots_; `gen` bumps on every
-  /// release so stale Request handles are detected, not misdelivered.
+  /// release so stale Request handles are detected, not misdelivered. A
+  /// slot whose gen wraps to 0 is retired (never recycled) so handle
+  /// staleness survives generation-counter overflow.
   struct RequestState {
     enum class Kind : std::uint8_t { kNone, kSend, kRecv };
     Kind kind = Kind::kNone;
@@ -317,6 +319,15 @@ class Communicator {
   std::size_t alloc_slot();
   RequestState& resolve(const Request& r);
   void release(Request& r, RequestState& s);
+
+ public:
+  /// Test-only seam: rewrites the generation counter of the live slot
+  /// behind `r` and returns a matching handle, so the 2^32-release
+  /// overflow-retirement path (see release()) is exercisable without four
+  /// billion requests. Not for production use.
+  Request debug_rewrite_request_gen(Request r, std::uint32_t gen);
+
+ private:
   /// Shared finalization of a matched receive: size check, unpack, stall
   /// accounting (t_wait + kRecvWait/kRecvComplete), stats. Used by both
   /// recv_bytes and request completion so blocking and nonblocking

@@ -46,10 +46,39 @@
 #include <sanitizer/common_interface_defs.h>
 #endif
 
+// ThreadSanitizer has the same problem one layer up: it models one stack
+// and one happens-before clock per OS thread, so an unannounced jump onto a
+// fiber stack makes it report wild data races inside a single logical
+// thread. The cure is the fiber API TSan grew for QEMU's coroutines:
+// __tsan_create_fiber per fiber, __tsan_switch_to_fiber immediately before
+// every context switch (in either direction), __tsan_destroy_fiber at
+// teardown. Compiles away in non-TSan builds.
+#if defined(__SANITIZE_THREAD__)
+#define WAVEPIPE_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define WAVEPIPE_TSAN_FIBERS 1
+#endif
+#endif
+#ifndef WAVEPIPE_TSAN_FIBERS
+#define WAVEPIPE_TSAN_FIBERS 0
+#endif
+#if WAVEPIPE_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace wavepipe {
 
 const char* to_string(EngineKind k) {
-  return k == EngineKind::kThreads ? "threads" : "fibers";
+  switch (k) {
+    case EngineKind::kThreads:
+      return "threads";
+    case EngineKind::kParallel:
+      return "parallel";
+    case EngineKind::kFibers:
+      break;
+  }
+  return "fibers";
 }
 
 const char* to_string(SchedKind k) {
@@ -66,9 +95,22 @@ EngineConfig EngineConfig::from_env() {
       cfg.kind = EngineKind::kThreads;
     } else if (s == "fibers" || s.empty()) {
       cfg.kind = EngineKind::kFibers;
+    } else if (s == "parallel") {
+      cfg.kind = EngineKind::kParallel;
     } else {
-      throw ConfigError("WAVEPIPE_ENGINE expects 'threads' or 'fibers', got '" +
-                        s + "'");
+      throw ConfigError(
+          "WAVEPIPE_ENGINE expects 'threads', 'fibers', or 'parallel', got '" +
+          s + "'");
+    }
+  }
+  if (const char* v = std::getenv("WAVEPIPE_PIN")) {
+    const std::string s(v);
+    if (s == "0") {
+      cfg.pin_threads = false;
+    } else if (s == "1" || s.empty()) {
+      cfg.pin_threads = true;
+    } else {
+      throw ConfigError("WAVEPIPE_PIN expects '0' or '1', got '" + s + "'");
     }
   }
   if (const char* v = std::getenv("WAVEPIPE_SCHED")) {
@@ -159,6 +201,9 @@ struct FiberScheduler::Impl {
 #if WAVEPIPE_ASAN_FIBERS
     void* fake_stack = nullptr;  // ASan fake-stack save slot while suspended
 #endif
+#if WAVEPIPE_TSAN_FIBERS
+    void* tsan_fiber = nullptr;  // TSan's per-fiber state handle
+#endif
   };
 
   int ranks;
@@ -180,8 +225,10 @@ struct FiberScheduler::Impl {
         fibers(static_cast<std::size_t>(n)) {}
 
   ~Impl() {
-    for (auto& f : fibers)
+    for (auto& f : fibers) {
+      tsan_destroy(f);
       if (f.map) ::munmap(f.map, f.map_bytes);
+    }
   }
 
   Fiber& at(int r) { return fibers[static_cast<std::size_t>(r)]; }
@@ -225,6 +272,29 @@ struct FiberScheduler::Impl {
   void asan_fiber_resumed(Fiber&) {}
   void asan_leave_fiber(Fiber&, bool) {}
   void asan_main_entered() {}
+#endif
+
+  // TSan fiber-switch annotations (no-ops without TSan). Simpler protocol
+  // than ASan's: announce the destination fiber immediately before each
+  // jump; TSan transfers its stack bounds and race-detection state with us.
+#if WAVEPIPE_TSAN_FIBERS
+  void* tsan_main = nullptr;  // the scheduler thread's own TSan fiber
+  void tsan_create(Fiber& f) { f.tsan_fiber = __tsan_create_fiber(0); }
+  void tsan_destroy(Fiber& f) {
+    if (f.tsan_fiber) __tsan_destroy_fiber(f.tsan_fiber);
+  }
+  void tsan_enter_fiber(Fiber& f) {  // scheduler stack, about to jump in
+    if (!tsan_main) tsan_main = __tsan_get_current_fiber();
+    __tsan_switch_to_fiber(f.tsan_fiber, 0);
+  }
+  void tsan_leave_fiber() {  // fiber stack, about to jump back
+    __tsan_switch_to_fiber(tsan_main, 0);
+  }
+#else
+  void tsan_create(Fiber&) {}
+  void tsan_destroy(Fiber&) {}
+  void tsan_enter_fiber(Fiber&) {}
+  void tsan_leave_fiber() {}
 #endif
 
   void alloc_stack(Fiber& f) {
@@ -284,6 +354,7 @@ struct FiberScheduler::Impl {
     // (Not uc_link: the ucontext snapshot of the main stack is stale after
     // the first switch, whereas main_jb is re-armed at every switch-in.)
     self->asan_leave_fiber(f, /*terminal=*/true);
+    self->tsan_leave_fiber();
     _longjmp(self->main_jb, 1);
   }
 
@@ -297,6 +368,7 @@ struct FiberScheduler::Impl {
   [[gnu::noinline]] void switch_into(Fiber& f) {
     if (_setjmp(main_jb) == 0) {
       asan_enter_fiber(f);
+      tsan_enter_fiber(f);
       if (!f.started) {
         f.started = true;
         if (::swapcontext(&main_ctx, &f.ctx) != 0)
@@ -385,6 +457,7 @@ struct FiberScheduler::Impl {
     for (int r = 0; r < ranks; ++r) {
       Fiber& f = at(r);
       alloc_stack(f);
+      tsan_create(f);
       if (::getcontext(&f.ctx) != 0)
         throw EngineError("fiber engine: getcontext failed");
       f.ctx.uc_stack.ss_sp = f.usable_lo;
@@ -458,6 +531,7 @@ struct FiberScheduler::Impl {
     // picked again.
     if (_setjmp(f.jb) == 0) {
       asan_leave_fiber(f, /*terminal=*/false);
+      tsan_leave_fiber();
       _longjmp(main_jb, 1);
     } else {
       asan_fiber_resumed(f);

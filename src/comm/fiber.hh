@@ -25,8 +25,9 @@ namespace wavepipe {
 
 /// How Machine::run executes its ranks.
 enum class EngineKind {
-  kThreads,  // one OS thread per rank (the original engine)
-  kFibers,   // all ranks as cooperative fibers on the calling thread
+  kThreads,   // one OS thread per rank (the original engine)
+  kFibers,    // all ranks as cooperative fibers on the calling thread
+  kParallel,  // one core-pinned OS thread per rank, lock-free SPSC mailboxes
 };
 
 const char* to_string(EngineKind k);
@@ -72,12 +73,18 @@ struct EngineConfig {
   EngineKind kind = EngineKind::kFibers;
   std::size_t stack_bytes = kDefaultStackBytes;
   SchedConfig sched;
+  /// Parallel engine only: pin rank r's thread to core r mod
+  /// hardware_concurrency (best-effort, Linux). Pinning keeps the SPSC
+  /// producer/consumer pairs cache-resident; disable (WAVEPIPE_PIN=0) when
+  /// sharing the host with other work.
+  bool pin_threads = true;
 
-  /// WAVEPIPE_ENGINE=threads|fibers selects the engine (default fibers);
-  /// WAVEPIPE_FIBER_STACK=N[k|m] sizes fiber stacks in bytes (suffixes for
-  /// KiB / MiB); WAVEPIPE_SCHED=deterministic|random:<seed> selects the
-  /// fiber scheduling policy (default deterministic). Unparseable values
-  /// throw ConfigError.
+  /// WAVEPIPE_ENGINE=threads|fibers|parallel selects the engine (default
+  /// fibers); WAVEPIPE_FIBER_STACK=N[k|m] sizes fiber stacks in bytes
+  /// (suffixes for KiB / MiB); WAVEPIPE_SCHED=deterministic|random:<seed>
+  /// selects the fiber scheduling policy (default deterministic);
+  /// WAVEPIPE_PIN=0|1 toggles parallel-engine core pinning (default 1).
+  /// Unparseable values throw ConfigError naming the valid set.
   static EngineConfig from_env();
 };
 

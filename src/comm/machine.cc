@@ -1,6 +1,7 @@
 #include "comm/machine.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
 #include <limits>
 #include <mutex>
@@ -10,7 +11,31 @@
 #include "support/log.hh"
 #include "support/timer.hh"
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace wavepipe {
+
+namespace {
+
+// Best-effort thread pinning for the parallel engine: keeps each rank's
+// SPSC producer/consumer pair on a fixed core so channel cache lines stop
+// bouncing. Silently does nothing where unsupported — pinning is a
+// performance hint, never a correctness requirement.
+void pin_to_core(unsigned core) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core, &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)core;
+#endif
+}
+
+}  // namespace
 
 Machine::Machine(int size, CostModel costs, TraceConfig trace,
                  EngineConfig engine)
@@ -18,8 +43,13 @@ Machine::Machine(int size, CostModel costs, TraceConfig trace,
   require(size >= 1, "machine size must be >= 1");
   require(size <= 4096, "machine size is implausibly large (> 4096 ranks)");
   if (engine_.kind == EngineKind::kFibers && !fibers_supported()) {
-    log_warn("WAVEPIPE_ENGINE=fibers requested but this platform has no "
-             "context API; falling back to the threaded engine");
+    // Warn once per process, not once per Machine: programs construct
+    // thousands of machines (benches, parameter sweeps) and a per-run
+    // warning would drown the output they came for.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true))
+      log_warn("WAVEPIPE_ENGINE=fibers requested but this platform has no "
+               "context API; falling back to the threaded engine");
     engine_.kind = EngineKind::kThreads;
   }
   if (engine_.kind == EngineKind::kThreads &&
@@ -61,6 +91,31 @@ void Machine::run_threads(
   threads.reserve(static_cast<std::size_t>(size_));
   for (int r = 0; r < size_; ++r)
     threads.emplace_back([&body, r] { body(r, nullptr); });
+  for (auto& t : threads) t.join();
+}
+
+void Machine::run_parallel(
+    const std::function<void(int, FiberScheduler*)>& body) {
+  // Leave parallel mode however the run ends (exception included): the
+  // exit drains unreceived messages into the ordinary queues and returns
+  // the mailboxes to their locked, externally usable mode.
+  struct ParallelGuard {
+    std::vector<std::unique_ptr<Mailbox>>& boxes;
+    ~ParallelGuard() {
+      for (auto& mb : boxes) mb->exit_parallel();
+    }
+  } guard{mailboxes_};
+  for (auto& mb : mailboxes_) mb->enter_parallel(size_);
+
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  const bool pin = engine_.pin_threads;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r)
+    threads.emplace_back([&body, r, cores, pin] {
+      if (pin) pin_to_core(static_cast<unsigned>(r) % cores);
+      body(r, nullptr);
+    });
   for (auto& t : threads) t.join();
 }
 
@@ -139,6 +194,8 @@ RunResult Machine::run(const std::function<void(Communicator&)>& fn) {
                        // thread/fiber noise
   } else if (engine_.kind == EngineKind::kFibers) {
     run_fibers(body);
+  } else if (engine_.kind == EngineKind::kParallel) {
+    run_parallel(body);
   } else {
     run_threads(body);
   }

@@ -1,9 +1,13 @@
 // The Machine: a fixed-size set of ranks executing an SPMD function,
 // exchanging messages through per-rank mailboxes under a shared CostModel.
-// Two execution engines run the ranks (EngineConfig / WAVEPIPE_ENGINE):
+// Three execution engines run the ranks (EngineConfig / WAVEPIPE_ENGINE):
 // cooperative fibers on the calling thread (the default — no locks, no
-// kernel scheduling, deterministic earliest-vtime-first switching) or one
-// OS thread per rank. Both produce identical results; see DESIGN.md §9.
+// kernel scheduling, deterministic earliest-vtime-first switching), one OS
+// thread per rank with mutex/condvar mailboxes, or the parallel engine —
+// one core-pinned OS thread per rank over lock-free SPSC mailboxes, the
+// configuration that turns pipelined-vs-naive into a *wall-clock* result
+// on multicore hosts. All three produce identical results (vtimes, stats,
+// phases, traces) for non-probe programs; see DESIGN.md §9 and §13.
 //
 // With CostModel{} (all costs zero) this is a plain in-process
 // message-passing runtime whose wall-clock behaviour is whatever the host
@@ -32,8 +36,10 @@ struct RunResult {
   /// Max over ranks: the machine's virtual makespan (the quantity the
   /// paper's T_comp + T_comm formulas model).
   double vtime_max = 0.0;
-  /// Host wall-clock seconds for the whole run (meaningful only for
-  /// single-rank or free-cost runs on this 1-core host).
+  /// Host wall-clock seconds for the whole run. Under the parallel engine
+  /// with a free CostModel this is the real-hardware measurement the paper
+  /// cares about; under the virtual-time engines it mostly measures
+  /// simulation overhead (see DESIGN.md §13 on vtime vs wall-clock).
   double wall_seconds = 0.0;
   /// Per-rank traffic counters and their sum.
   std::vector<CommStats> stats;
@@ -133,6 +139,7 @@ class Machine {
  private:
   void run_threads(const std::function<void(int, FiberScheduler*)>& body);
   void run_fibers(const std::function<void(int, FiberScheduler*)>& body);
+  void run_parallel(const std::function<void(int, FiberScheduler*)>& body);
 
   int size_;
   CostModel costs_;

@@ -11,6 +11,52 @@ void Mailbox::throw_poisoned() const {
   throw CommError("recv aborted: machine poisoned (" + poison_reason_ + ")");
 }
 
+Mailbox::ParallelState::ParallelState(int nranks) {
+  channels.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r)
+    channels.push_back(std::make_unique<SpscQueue<Message>>());
+}
+
+void Mailbox::enter_parallel(int nranks) {
+  internal_check(!blocker_ && !parallel_,
+                 "mailbox already has an engine attached");
+  parallel_ = std::make_unique<ParallelState>(nranks);
+}
+
+void Mailbox::exit_parallel() {
+  if (!parallel_) return;
+  // Quiescent by contract (rank threads joined), so this final drain moves
+  // any message that was sent but never received into the ordinary queues —
+  // pending() reports the same count every engine reports.
+  drain_channels();
+  parallel_.reset();
+}
+
+void Mailbox::drain_channels() {
+  // Owner thread only. Matching here mirrors the deposit paths below: a
+  // waiting posted receive gets the message directly, otherwise it queues.
+  // Per-(src, tag) FIFO holds because each channel is itself FIFO and only
+  // rank `src` pushes into channel[src].
+  Message m;
+  for (auto& ch : parallel_->channels) {
+    while (ch->pop(m)) {
+      const auto it = posted_.find(key_of(m.src, m.tag));
+      if (it != posted_.end() && !it->second.empty()) {
+        PostedRecv* slot = it->second.front();
+        it->second.pop_front();
+        complete(*slot, std::move(m));
+      } else {
+        queues_[key_of(m.src, m.tag)].push_back(std::move(m));
+        ++pending_;
+      }
+    }
+  }
+}
+
+void Mailbox::poll() {
+  if (parallel_) drain_channels();
+}
+
 std::optional<Message> Mailbox::pop_unlocked(int src, int tag) {
   const auto it = queues_.find(key_of(src, tag));
   if (it == queues_.end() || it->second.empty()) return std::nullopt;
@@ -70,6 +116,18 @@ std::string Mailbox::posted_summary_unlocked() const {
 }
 
 void Mailbox::deposit(Message m) {
+  if (parallel_) {
+    // Producer hot path: one lock-free push into this sender's private
+    // channel plus an eventcount bump. No mutex, no map access — the owner
+    // does all matching when it drains.
+    auto& st = *parallel_;
+    const auto src = static_cast<std::size_t>(m.src);
+    internal_check(m.src >= 0 && src < st.channels.size(),
+                   "parallel deposit from out-of-range source rank");
+    st.channels[src]->push(std::move(m));
+    st.parker.unpark();
+    return;
+  }
   if (blocker_) {
     const auto it = posted_.find(key_of(m.src, m.tag));
     if (it != posted_.end() && !it->second.empty()) {
@@ -111,6 +169,13 @@ Message Mailbox::await(int src, int tag) {
 }
 
 void Mailbox::post_recv(PostedRecv& slot) {
+  if (parallel_) {
+    // Drain first so the slot claims a message that already physically
+    // arrived, exactly as a locked-mode deposit would have matched it.
+    drain_channels();
+    post_recv_unlocked(slot);
+    return;
+  }
   if (blocker_) {
     post_recv_unlocked(slot);
     return;
@@ -120,6 +185,21 @@ void Mailbox::post_recv(PostedRecv& slot) {
 }
 
 void Mailbox::await_completion(PostedRecv& slot) {
+  if (parallel_) {
+    for (;;) {
+      // Take the parker ticket BEFORE draining: any deposit after this
+      // point bumps the epoch, so park(ticket) cannot sleep through it.
+      const std::uint32_t ticket = parallel_->parker.prepare();
+      drain_channels();
+      // Completion wins over poison, same as the other engine modes.
+      if (slot.done()) return;
+      if (poisoned()) {
+        cancel_recv_unlocked(slot);
+        throw_poisoned();
+      }
+      parallel_->parker.park(ticket);
+    }
+  }
   if (blocker_) {
     for (;;) {
       // Completion wins over poison: a message already delivered into the
@@ -141,6 +221,15 @@ void Mailbox::await_completion(PostedRecv& slot) {
 }
 
 void Mailbox::await_until(const std::function<bool()>& ready) {
+  if (parallel_) {
+    for (;;) {
+      const std::uint32_t ticket = parallel_->parker.prepare();
+      drain_channels();
+      if (ready()) return;
+      if (poisoned()) throw_poisoned();
+      parallel_->parker.park(ticket);
+    }
+  }
   if (blocker_) {
     for (;;) {
       if (ready()) return;
@@ -155,7 +244,7 @@ void Mailbox::await_until(const std::function<bool()>& ready) {
 }
 
 void Mailbox::cancel_recv(PostedRecv& slot) {
-  if (blocker_) {
+  if (parallel_ || blocker_) {
     cancel_recv_unlocked(slot);
     return;
   }
@@ -164,6 +253,11 @@ void Mailbox::cancel_recv(PostedRecv& slot) {
 }
 
 std::optional<Message> Mailbox::try_match(int src, int tag) {
+  if (parallel_) {
+    if (poisoned()) throw_poisoned();
+    drain_channels();
+    return pop_unlocked(src, tag);
+  }
   if (blocker_) {
     if (poisoned_) throw_poisoned();
     return pop_unlocked(src, tag);
@@ -174,16 +268,36 @@ std::optional<Message> Mailbox::try_match(int src, int tag) {
 }
 
 bool Mailbox::probe(int src, int tag) {
+  if (parallel_) {
+    drain_channels();
+    return probe_unlocked(src, tag);
+  }
   if (blocker_) return probe_unlocked(src, tag);
   std::lock_guard<std::mutex> lock(mutex_);
   return probe_unlocked(src, tag);
 }
 
 void Mailbox::poison(const std::string& why) {
+  if (parallel_) {
+    // Any rank thread may poison concurrently. The CAS picks one winner to
+    // write the reason; the release store of poisoned_ then publishes the
+    // string to the owner's acquire load in poisoned(). Losers just wake
+    // the owner (the winner wakes it again after its store, so the owner
+    // can never park forever with the flag set).
+    bool expected = false;
+    if (poison_claim_.compare_exchange_strong(expected, true,
+                                              std::memory_order_acq_rel)) {
+      poison_reason_ = why;
+      poisoned_.store(true, std::memory_order_release);
+    }
+    parallel_->parker.unpark();
+    return;
+  }
   if (blocker_) {
     if (!poisoned_) {
-      poisoned_ = true;
+      poison_claim_ = true;
       poison_reason_ = why;
+      poisoned_ = true;
     }
     blocker_->notify(*this);
     return;
@@ -191,21 +305,22 @@ void Mailbox::poison(const std::string& why) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!poisoned_) {
-      poisoned_ = true;
+      poison_claim_ = true;
       poison_reason_ = why;
+      poisoned_ = true;
     }
   }
   cv_.notify_all();
 }
 
 std::size_t Mailbox::pending() const {
-  if (blocker_) return pending_;
+  if (parallel_ || blocker_) return pending_;
   std::lock_guard<std::mutex> lock(mutex_);
   return pending_;
 }
 
 std::string Mailbox::posted_summary() const {
-  if (blocker_) return posted_summary_unlocked();
+  if (parallel_ || blocker_) return posted_summary_unlocked();
   std::lock_guard<std::mutex> lock(mutex_);
   return posted_summary_unlocked();
 }

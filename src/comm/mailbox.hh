@@ -22,7 +22,14 @@
 // cooperative scheduler is attached (set_blocker), all ranks share one OS
 // thread, so the mailbox skips locking entirely and a blocked receive
 // yields to the scheduler (MailboxBlocker::block) until a deposit or
-// poison notifies it.
+// poison notifies it. In parallel mode (enter_parallel, used by
+// WAVEPIPE_ENGINE=parallel) there is no mutex on the message path at all:
+// each sending rank owns a lock-free SPSC channel into this mailbox, a
+// deposit is one channel push plus a Parker unpark, and the owning rank —
+// the only thread that ever touches the matching maps — drains the
+// channels whenever it looks for a message and parks on the eventcount
+// when all of them are empty. See DESIGN.md §13 for the full memory-
+// ordering contract.
 #pragma once
 
 #include <atomic>
@@ -30,12 +37,15 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "comm/message.hh"
+#include "comm/spsc.hh"
 
 namespace wavepipe {
 
@@ -131,10 +141,29 @@ class Mailbox {
   /// report to name the requests every blocked rank is stuck on.
   std::string posted_summary() const;
 
+  /// Drains any parallel-mode channels into the matching structures (owner
+  /// thread only); a no-op in the other modes. The real-time-safe polling
+  /// seam: Communicator::test calls this so nonblocking completion checks
+  /// observe physically arrived messages without ever blocking or locking.
+  void poll();
+
   /// Attaches (or with nullptr detaches) a cooperative engine. While
   /// attached the mailbox is single-threaded by contract and takes no
   /// locks. A Machine attaches for the duration of one fiber-engine run.
   void set_blocker(MailboxBlocker* blocker) { blocker_ = blocker; }
+
+  /// Switches the mailbox into parallel (lock-free) mode with one SPSC
+  /// channel per possible sender. While in this mode all matching-map
+  /// operations (post/await/probe/...) must come from the single owning
+  /// rank thread; deposit() and poison() may come from any rank thread.
+  /// A Machine enters for the duration of one parallel-engine run.
+  void enter_parallel(int nranks);
+
+  /// Leaves parallel mode: drains every channel (unreceived messages land
+  /// in the ordinary queues, so pending() is engine-invariant) and restores
+  /// the locked mode. Requires quiescence — the Machine calls it after all
+  /// rank threads joined.
+  void exit_parallel();
 
   /// Free-form label for what the owning rank is currently blocked doing
   /// (e.g. the scheduler task whose inflow it awaits). Purely diagnostic:
@@ -162,6 +191,20 @@ class Mailbox {
   static void complete(PostedRecv& slot, Message m);
   [[noreturn]] void throw_poisoned() const;
 
+  // Parallel-mode state: one SPSC channel per sender rank (indexed by the
+  // message's src; unique_ptr because the channels are immovable) plus the
+  // eventcount the owner parks on when every channel is empty.
+  struct ParallelState {
+    explicit ParallelState(int nranks);
+    std::vector<std::unique_ptr<SpscQueue<Message>>> channels;
+    Parker parker;
+  };
+  // Moves every channel message into the matching maps (owner thread only).
+  void drain_channels();
+  bool poisoned() const {
+    return poisoned_.load(std::memory_order_acquire);
+  }
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   // Per-(src, tag) FIFO queues. Drained queues stay in the map (the key
@@ -172,7 +215,12 @@ class Mailbox {
   std::unordered_map<std::uint64_t, std::deque<PostedRecv*>> posted_;
   std::size_t pending_ = 0;
   MailboxBlocker* blocker_ = nullptr;
-  bool poisoned_ = false;
+  std::unique_ptr<ParallelState> parallel_;
+  // Atomic because parallel-mode producers poison concurrently with the
+  // owner's lock-free checks; the reason string is published by the release
+  // store of the flag (claim_ arbitrates which poisoner writes it).
+  std::atomic<bool> poisoned_{false};
+  std::atomic<bool> poison_claim_{false};
   std::string poison_reason_;
   std::string wait_context_;
 };

@@ -27,7 +27,9 @@ class Request {
 
   // (generation << 32) | (slot index + 1) into the owning Communicator's
   // request table; the generation makes stale handles detectable after a
-  // slot is recycled.
+  // slot is recycled. When a slot's generation counter wraps to 0 the
+  // Communicator retires the slot instead of recycling it, so even the
+  // 2^32-use ABA case keeps throwing CommError rather than misdelivering.
   std::uint64_t id_ = 0;
 };
 

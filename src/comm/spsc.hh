@@ -1,0 +1,172 @@
+// Lock-free single-producer/single-consumer primitives for the parallel
+// execution engine (WAVEPIPE_ENGINE=parallel).
+//
+// SpscQueue is an unbounded wait-free-for-the-producer linked queue: one
+// thread pushes, one thread pops, and the only synchronization is one
+// release store (producer) matched by one acquire load (consumer) per
+// message. The memory-ordering contract (DESIGN.md §13): everything the
+// producer wrote before push() — the node's value, and by extension the
+// message payload — happens-before the consumer's read after a successful
+// pop(), because the value write is sequenced before the release store of
+// the `next` pointer the consumer acquires. There is no CAS, no retry
+// loop, and no mutex anywhere on the push/pop path.
+//
+// Parker is the park/unpark half: an eventcount a consumer uses to sleep
+// when every channel is empty without a lock on the producer's hot path.
+// The producer's unpark() is a single atomic increment plus one relaxed
+// flag check; it touches a futex (Linux) or a mutex+condvar (elsewhere)
+// only when a consumer is actually asleep. The consumer's protocol —
+// ticket = prepare(); re-check work; park(ticket) — cannot miss a wakeup:
+// any unpark() after prepare() changes the epoch, and park() returns
+// immediately when the epoch moved past its ticket (the futex compare, or
+// the condvar predicate, re-checks under the kernel's own lock).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#define WAVEPIPE_HAS_FUTEX 1
+#else
+#define WAVEPIPE_HAS_FUTEX 0
+#endif
+
+namespace wavepipe {
+
+/// Unbounded lock-free SPSC FIFO. Exactly one thread may call push() and
+/// exactly one thread may call pop()/peek_empty(); the two may run
+/// concurrently. Destruction requires external quiescence (no concurrent
+/// push/pop), which the Machine guarantees by joining rank threads first.
+template <typename T>
+class SpscQueue {
+ public:
+  SpscQueue() : head_(new Node), tail_(head_) {}
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+  SpscQueue(SpscQueue&&) = delete;
+
+  ~SpscQueue() {
+    Node* n = head_;
+    while (n) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  /// Producer side. Never blocks, never fails.
+  void push(T value) {
+    Node* n = new Node;
+    n->value = std::move(value);
+    // The release store publishes the node (and everything written into it
+    // above) to the consumer's matching acquire load in pop().
+    tail_->next.store(n, std::memory_order_release);
+    tail_ = n;
+  }
+
+  /// Consumer side: pops the oldest element into `out`; false when empty.
+  bool pop(T& out) {
+    Node* next = head_->next.load(std::memory_order_acquire);
+    if (!next) return false;
+    out = std::move(next->value);
+    // head_ is the consumed dummy; the producer moved past it before the
+    // acquire above could observe `next`, so deleting it here races nothing.
+    delete head_;
+    head_ = next;
+    return true;
+  }
+
+  /// Consumer side: true when no element is ready. (A concurrent push may
+  /// make this stale immediately — callers re-check after Parker::prepare.)
+  bool peek_empty() const {
+    return head_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  // On separate cache lines: head_ is written only by the consumer, tail_
+  // only by the producer; sharing a line would make every push/pop pair a
+  // coherence miss.
+  alignas(64) Node* head_;  // consumer-owned (dummy node)
+  alignas(64) Node* tail_;  // producer-owned (last node)
+};
+
+/// Eventcount: lets one consumer sleep until a producer signals that new
+/// work *may* exist. Multiple producers may unpark() concurrently; a single
+/// consumer parks. Usage (consumer):
+///
+///   for (;;) {
+///     const std::uint32_t ticket = parker.prepare();
+///     if (work_available()) break;   // re-check AFTER taking the ticket
+///     parker.park(ticket);           // returns on any unpark since prepare
+///   }
+///
+/// Producers call unpark() after publishing work. The epoch bump in
+/// unpark() is sequentially consistent with the consumer's waiter
+/// registration, so the "work published → epoch moved" edge makes the
+/// missed-wakeup window empty: either the consumer's re-check sees the
+/// work, or its park() sees the moved epoch and returns at once.
+class Parker {
+ public:
+  std::uint32_t prepare() { return epoch_.load(std::memory_order_acquire); }
+
+  void park(std::uint32_t ticket) {
+#if WAVEPIPE_HAS_FUTEX
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    // FUTEX_WAIT atomically re-checks epoch_ == ticket under the kernel's
+    // hash-bucket lock; a concurrent unpark() either moved the epoch
+    // (EAGAIN, return immediately) or finds us on the wait queue and wakes.
+    if (epoch_.load(std::memory_order_seq_cst) == ticket)
+      ::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&epoch_),
+                FUTEX_WAIT_PRIVATE, ticket, nullptr, nullptr, 0);
+    waiters_.fetch_sub(1, std::memory_order_seq_cst);
+#else
+    std::unique_lock<std::mutex> lock(mutex_);
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    cv_.wait(lock, [&] {
+      return epoch_.load(std::memory_order_seq_cst) != ticket;
+    });
+    waiters_.fetch_sub(1, std::memory_order_seq_cst);
+#endif
+  }
+
+  /// Producer side: O(1) atomic increment; enters the kernel (futex wake /
+  /// condvar notify) only when a consumer is registered as waiting.
+  void unpark() {
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    if (waiters_.load(std::memory_order_seq_cst) == 0) return;
+#if WAVEPIPE_HAS_FUTEX
+    ::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&epoch_),
+              FUTEX_WAKE_PRIVATE, INT32_MAX, nullptr, nullptr, 0);
+#else
+    {
+      // Empty critical section: orders the epoch bump before the waiter's
+      // predicate check so the notify cannot land between its check and
+      // its sleep.
+      std::lock_guard<std::mutex> lock(mutex_);
+    }
+    cv_.notify_all();
+#endif
+  }
+
+ private:
+  alignas(64) std::atomic<std::uint32_t> epoch_{0};
+  std::atomic<std::uint32_t> waiters_{0};
+#if !WAVEPIPE_HAS_FUTEX
+  std::mutex mutex_;
+  std::condition_variable cv_;
+#endif
+};
+
+}  // namespace wavepipe

@@ -51,6 +51,17 @@ SchedOptions SchedOptions::from_env() {
                         s + "'");
     }
   }
+  if (const char* v = std::getenv("WAVEPIPE_SCHED_UNSAFE_STATIC")) {
+    const std::string s(v);
+    if (s == "0") {
+      opts.allow_unsafe_static = false;
+    } else if (s == "1" || s.empty()) {
+      opts.allow_unsafe_static = true;
+    } else {
+      throw ConfigError(
+          "WAVEPIPE_SCHED_UNSAFE_STATIC expects '0' or '1', got '" + s + "'");
+    }
+  }
   return opts;
 }
 
@@ -217,6 +228,26 @@ SchedReport SchedExecutor::run() {
   report_.policy = opts_.policy;
   report_.adaptive = opts_.adaptive;
   analyze();
+  // Fail fast on the cross-rank deadlock caveat (header comment): a static
+  // non-FIFO pick order over a graph that blocks on another rank's sends
+  // can deadlock in ways this rank cannot detect from its own graph, so
+  // refuse before running anything rather than hang (threaded/parallel
+  // engines) or unwind mid-graph (fiber engine's detector).
+  if (!opts_.adaptive && opts_.policy != SchedPolicy::kFifo &&
+      !opts_.allow_unsafe_static) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const TaskGraph::Task& task = graph_.task(static_cast<TaskId>(i));
+      if (task.inflow_src < 0) continue;
+      throw SchedError(
+          "static " + std::string(to_string(opts_.policy)) +
+          " scheduling over a cross-rank graph (task '" + task.label +
+          "' has inflow from rank " + std::to_string(task.inflow_src) +
+          ") can deadlock: the pick order may block a receive ahead of the "
+          "send its peer needs. Use adaptive mode, the fifo policy, or set "
+          "SchedOptions::allow_unsafe_static / WAVEPIPE_SCHED_UNSAFE_STATIC=1 "
+          "after verifying the global schedule is consistent");
+    }
+  }
   inflow_buf_.resize(n);
   for (std::size_t i = 0; i < n; ++i)
     if (deps_[i] == 0) release(static_cast<TaskId>(i));

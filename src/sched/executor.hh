@@ -34,8 +34,17 @@
 //     do); priority policies may rank a receive above the send its peer is
 //     waiting on and deadlock even though the graph is acyclic. Adaptive
 //     mode has no such failure (it blocks only when *nothing* can run),
-//     which is one more reason it is the default. Either kind of stall is
-//     reported, not hung: see below.
+//     which is one more reason it is the default.
+//
+//     Because that failure depends on the *other* ranks' graphs — which
+//     this rank cannot see — the executor fails fast: a static non-FIFO
+//     run over a graph with any cross-rank inflow throws a typed
+//     SchedError before executing a single task, instead of gambling on a
+//     runtime deadlock. Callers who know their global schedule is
+//     consistent (e.g. every rank releases sends before priority-inverted
+//     receives, as the wavefront lowerings do) opt back in with
+//     SchedOptions::allow_unsafe_static, and a deadlock that does occur is
+//     then still reported, not hung: see below.
 //
 // Either way the computed data is bit-identical to sequential execution,
 // because payload bytes are FIFO per (src, tag) and every
@@ -68,11 +77,18 @@ struct SchedOptions {
   /// Arrival-aware task pickup (see header comment). Probe-class when
   /// true; fully schedule/fault-invariant when false.
   bool adaptive = true;
+  /// Static non-FIFO schedules can deadlock across ranks (header caveat),
+  /// so by default run_graph refuses such a schedule over any graph with a
+  /// cross-rank inflow — a SchedError *before* execution. Set true (or
+  /// WAVEPIPE_SCHED_UNSAFE_STATIC=1) to assert the global pick order is
+  /// consistent and run anyway.
+  bool allow_unsafe_static = false;
 
   /// WAVEPIPE_SCHED_POLICY=fifo|diagonal|critical selects the policy;
-  /// WAVEPIPE_SCHED_ADAPTIVE=0|1 selects the arrival mode. (Distinct from
-  /// WAVEPIPE_SCHED, which seeds the *fiber* scheduler.) Unparseable
-  /// values throw ConfigError.
+  /// WAVEPIPE_SCHED_ADAPTIVE=0|1 selects the arrival mode;
+  /// WAVEPIPE_SCHED_UNSAFE_STATIC=0|1 opts into static non-FIFO over
+  /// cross-rank graphs. (Distinct from WAVEPIPE_SCHED, which seeds the
+  /// *fiber* scheduler.) Unparseable values throw ConfigError.
   static SchedOptions from_env();
 };
 

@@ -450,6 +450,9 @@ TEST(Faults, SchedulerDeadlockUnderChaosNamesTheStuckTask) {
         SchedOptions so;
         so.policy = SchedPolicy::kCriticalPath;
         so.adaptive = false;
+        // Opt past the executor's fail-fast: this test exists to prove the
+        // *runtime* deadlock is detected and reported under chaos.
+        so.allow_unsafe_static = true;
         app.iterate_scheduled(comm, cfg.iterations, wopts, so);
       });
       FAIL() << "seed " << seed << ": deadlock did not throw";

@@ -1,9 +1,11 @@
-// Cross-engine equivalence: the cooperative-fiber engine must be
-// observationally identical to the threaded engine — same computed data,
-// same RunResult (vtime, phases, stats), and byte-identical Chrome traces.
-// Virtual times, stats, and trace stamps depend only on per-rank program
-// order and sender-computed arrival stamps, so this holds by construction;
-// these tests pin it down against regressions in either engine.
+// Cross-engine equivalence: the cooperative-fiber engine, the threaded
+// engine, and the lock-free parallel engine must be observationally
+// identical — same computed data, same RunResult (vtime, phases, stats),
+// and byte-identical Chrome traces. Virtual times, stats, and trace stamps
+// depend only on per-rank program order and sender-computed arrival
+// stamps, so this holds by construction for every non-probe program; these
+// tests pin it down against regressions in any engine. The fiber engine is
+// the deterministic oracle the other two are measured against.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -72,6 +74,12 @@ void compare_engines(int p, CostModel cm, Fn&& fn) {
   const auto th = run_engine(EngineKind::kThreads, p, cm, tc, fn);
   const auto fi = run_engine(EngineKind::kFibers, p, cm, tc, fn);
   expect_equivalent(th, fi);
+  // The parallel engine inherits the threaded engine's guarantee (virtual
+  // time is a pure function of program order + sender stamps, whatever the
+  // physical interleaving), so for these non-probe workloads the whole
+  // RunResult — vtimes and traces included — must match the fiber oracle.
+  const auto pa = run_engine(EngineKind::kParallel, p, cm, tc, fn);
+  expect_equivalent(fi, pa);
 }
 
 TEST(EngineEquivalence, PropertyWavefrontSweep) {
@@ -310,8 +318,9 @@ TEST(EngineEquivalence, CollectiveAndP2PStorm) {
 
 TEST(EngineEquivalence, ExceptionPropagation) {
   // A rank failure must poison the machine and rethrow the original
-  // exception under both engines.
-  for (EngineKind kind : {EngineKind::kThreads, EngineKind::kFibers}) {
+  // exception under every engine.
+  for (EngineKind kind : {EngineKind::kThreads, EngineKind::kFibers,
+                          EngineKind::kParallel}) {
     Machine m(3, {}, TraceConfig{}, engine(kind));
     EXPECT_THROW(m.run([](Communicator& comm) {
                    if (comm.rank() == 2)

@@ -42,6 +42,7 @@ class EnvGuard {
 TEST(FiberEngine, ToStringNames) {
   EXPECT_STREQ(to_string(EngineKind::kThreads), "threads");
   EXPECT_STREQ(to_string(EngineKind::kFibers), "fibers");
+  EXPECT_STREQ(to_string(EngineKind::kParallel), "parallel");
 }
 
 TEST(FiberEngine, SupportedOnThisPlatform) {
@@ -66,7 +67,41 @@ TEST(FiberEngine, FromEnvSelectsEngine) {
     EXPECT_EQ(EngineConfig::from_env().kind, EngineKind::kFibers);
   }
   {
+    EnvGuard e("WAVEPIPE_ENGINE", "parallel");
+    EXPECT_EQ(EngineConfig::from_env().kind, EngineKind::kParallel);
+  }
+  {
     EnvGuard e("WAVEPIPE_ENGINE", "green-threads");
+    // The rejection must name the full valid set.
+    try {
+      (void)EngineConfig::from_env();
+      FAIL() << "unknown engine accepted";
+    } catch (const ConfigError& err) {
+      const std::string what = err.what();
+      EXPECT_NE(what.find("threads"), std::string::npos) << what;
+      EXPECT_NE(what.find("fibers"), std::string::npos) << what;
+      EXPECT_NE(what.find("parallel"), std::string::npos) << what;
+      EXPECT_NE(what.find("green-threads"), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(FiberEngine, FromEnvParsesPinToggle) {
+  EnvGuard e("WAVEPIPE_ENGINE", "parallel");
+  {
+    EnvGuard g("WAVEPIPE_PIN", nullptr);
+    EXPECT_TRUE(EngineConfig::from_env().pin_threads);  // default on
+  }
+  {
+    EnvGuard g("WAVEPIPE_PIN", "0");
+    EXPECT_FALSE(EngineConfig::from_env().pin_threads);
+  }
+  {
+    EnvGuard g("WAVEPIPE_PIN", "1");
+    EXPECT_TRUE(EngineConfig::from_env().pin_threads);
+  }
+  {
+    EnvGuard g("WAVEPIPE_PIN", "maybe");
     EXPECT_THROW(EngineConfig::from_env(), ConfigError);
   }
 }

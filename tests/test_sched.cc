@@ -177,6 +177,8 @@ TEST(Executor, InflowAndSendsMoveDataBetweenRanks) {
   for (const bool adaptive : {true, false}) {
     SchedOptions so;
     so.adaptive = adaptive;
+    // One task per rank: trivially consistent, so static critical is safe.
+    so.allow_unsafe_static = true;
     std::vector<double> got;
     Machine::run(2, {}, [&](Communicator& comm) {
       TaskGraph g;
@@ -232,6 +234,18 @@ TEST(SchedOptionsEnv, ParsesPolicyAndMode) {
   EXPECT_THROW(SchedOptions::from_env(), ConfigError);
 }
 
+TEST(SchedOptionsEnv, ParsesUnsafeStaticOptIn) {
+  EnvGuard unsafe("WAVEPIPE_SCHED_UNSAFE_STATIC");
+  ::unsetenv("WAVEPIPE_SCHED_UNSAFE_STATIC");
+  EXPECT_FALSE(SchedOptions::from_env().allow_unsafe_static);
+  ::setenv("WAVEPIPE_SCHED_UNSAFE_STATIC", "1", 1);
+  EXPECT_TRUE(SchedOptions::from_env().allow_unsafe_static);
+  ::setenv("WAVEPIPE_SCHED_UNSAFE_STATIC", "0", 1);
+  EXPECT_FALSE(SchedOptions::from_env().allow_unsafe_static);
+  ::setenv("WAVEPIPE_SCHED_UNSAFE_STATIC", "yes", 1);
+  EXPECT_THROW(SchedOptions::from_env(), ConfigError);
+}
+
 TEST(SchedOptionsEnv, PolicyNamesRoundTrip) {
   EXPECT_STREQ(to_string(SchedPolicy::kFifo), "fifo");
   EXPECT_STREQ(to_string(SchedPolicy::kDiagonal), "diagonal");
@@ -265,17 +279,26 @@ TEST(ScheduledSweep3d, ByteIdenticalAcrossPoliciesAndModes) {
       SchedOptions so;
       so.policy = pol;
       so.adaptive = adaptive;
+      // The sweep lowering releases each tile's outflow before any
+      // priority-inverted receive, so its static priority schedules are
+      // globally consistent: opt past the executor's fail-fast to prove
+      // the results stay byte-identical.
+      so.allow_unsafe_static = true;
       SCOPED_TRACE(std::string("policy=") + to_string(pol) +
                    " adaptive=" + (adaptive ? "1" : "0"));
       Real flux = 0.0, cs = 0.0;
       SchedReport rep;
       Machine::run(p, {}, [&](Communicator& comm) {
         Sweep3d app(cfg, grid, comm.rank());
-        const Real f = app.sweep_all_scheduled(comm, opts, so, &rep);
+        // Per-rank report: ranks run concurrently under the threaded and
+        // parallel engines, so only rank 0 may write the shared locals.
+        SchedReport mine;
+        const Real f = app.sweep_all_scheduled(comm, opts, so, &mine);
         const Real c = app.checksum(comm);
         if (comm.rank() == 0) {
           flux = f;
           cs = c;
+          rep = mine;
         }
       });
       // Bitwise, not approximate: scheduling reorders execution, never
@@ -316,9 +339,13 @@ TEST(ScheduledSweep3d, OverlapWinsAtLeastTenPercentAtP8) {
       Machine::run(p, cm,
                    [&](Communicator& comm) {
                      Sweep3d app(cfg, grid, comm.rank());
+                     SchedReport mine;  // ranks may run concurrently
                      const Real f = app.sweep_all_scheduled(comm, opts, so,
-                                                            &rep);
-                     if (comm.rank() == 0) sched_flux = f;
+                                                            &mine);
+                     if (comm.rank() == 0) {
+                       sched_flux = f;
+                       rep = mine;
+                     }
                    })
           .vtime_max;
 
@@ -397,6 +424,73 @@ TEST(ScheduledAltSweep, IterateDispatchesTheScheduledStrategy) {
   EXPECT_EQ(scheduled, pipelined);
 }
 
+TEST(Deadlock, StaticPriorityOverCrossRankGraphFailsFast) {
+  // The resolved cross-rank caveat: a static non-FIFO schedule over a
+  // graph with any cross-rank inflow is refused with a typed SchedError
+  // *before* a single task runs, instead of gambling on the runtime
+  // deadlock the next test reproduces. Works under every engine — no
+  // deadlock detector needed, nothing ever blocks.
+  for (const SchedPolicy pol :
+       {SchedPolicy::kDiagonal, SchedPolicy::kCriticalPath}) {
+    SCOPED_TRACE(std::string("policy=") + to_string(pol));
+    SchedOptions so;
+    so.policy = pol;
+    so.adaptive = false;
+    bool receiver_ran = false;
+    try {
+      Machine::run(2, {}, [&](Communicator& comm) {
+        TaskGraph g;
+        if (comm.rank() == 0) {
+          g.add({.label = "tx", .run = [](TaskContext& ctx) {
+                   const double v = 1.0;
+                   ctx.send(1, std::span<const double>(&v, 1), 3);
+                 }});
+        } else {
+          TaskGraph::Task rx;
+          rx.label = "rx";
+          rx.inflow_src = 0;
+          rx.inflow_tag = 3;
+          rx.inflow_elements = 1;
+          rx.run = [&receiver_ran](TaskContext&) { receiver_ran = true; };
+          g.add(std::move(rx));
+        }
+        run_graph(g, comm, so);
+      });
+      FAIL() << "static non-FIFO over a cross-rank graph did not fail fast";
+    } catch (const SchedError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("can deadlock"), std::string::npos) << what;
+      EXPECT_NE(what.find("task 'rx'"), std::string::npos) << what;
+      EXPECT_NE(what.find("WAVEPIPE_SCHED_UNSAFE_STATIC"), std::string::npos)
+          << "the error should name the escape hatch: " << what;
+    }
+    EXPECT_FALSE(receiver_ran) << "fail-fast must precede execution";
+
+    // The same schedule with the opt-in set runs to completion (this pair
+    // of graphs is trivially consistent).
+    so.allow_unsafe_static = true;
+    Machine::run(2, {}, [&](Communicator& comm) {
+      TaskGraph g;
+      if (comm.rank() == 0) {
+        g.add({.label = "tx", .run = [](TaskContext& ctx) {
+                 const double v = 1.0;
+                 ctx.send(1, std::span<const double>(&v, 1), 3);
+               }});
+      } else {
+        TaskGraph::Task rx;
+        rx.label = "rx";
+        rx.inflow_src = 0;
+        rx.inflow_tag = 3;
+        rx.inflow_elements = 1;
+        rx.run = [&receiver_ran](TaskContext&) { receiver_ran = true; };
+        g.add(std::move(rx));
+      }
+      run_graph(g, comm, so);
+    });
+    EXPECT_TRUE(receiver_ran);
+  }
+}
+
 TEST(Deadlock, ReportNamesTheStuckTask) {
   // Deterministic reproduction of the executor's documented static-mode
   // hazard: static blocking under a priority policy ranks a receive above
@@ -413,6 +507,9 @@ TEST(Deadlock, ReportNamesTheStuckTask) {
   SchedOptions so;
   so.policy = SchedPolicy::kCriticalPath;
   so.adaptive = false;
+  // Opt past the fail-fast: this test exercises the runtime detector that
+  // backstops schedules asserted consistent but actually not.
+  so.allow_unsafe_static = true;
 
   EngineConfig eng;
   eng.kind = EngineKind::kFibers;  // deadlock detection needs the fiber engine
