@@ -23,6 +23,7 @@ int Communicator::size() const { return machine_.size(); }
 const CostModel& Communicator::costs() const { return machine_.costs(); }
 
 void Communicator::compute(double elements) {
+  auto l = lock_ops();
   const double dt = elements * machine_.costs().compute_per_element;
   tracer_.record(TraceEventType::kCompute, vtime_, vtime_ + dt, -1, 0,
                  static_cast<std::uint64_t>(elements));
@@ -36,6 +37,7 @@ void Communicator::send_bytes(int dst, int tag,
   require(dst >= 0 && dst < machine_.size(), "send destination out of range");
   require(dst != rank_, "a rank may not send to itself");
 
+  auto l = lock_ops();
   const CostModel& cm = machine_.costs();
   Message m;
   m.src = rank_;
@@ -98,16 +100,19 @@ void Communicator::recv_bytes(int src, int tag, std::span<std::byte> out,
   require(src >= 0 && src < machine_.size(), "recv source out of range");
   require(src != rank_, "a rank may not receive from itself");
 
+  auto l = lock_ops();
   Message m = machine_.mailbox(rank_).await(src, tag);
   complete_recv(m, out, expected_elements, src, tag);
 }
 
 bool Communicator::probe(int src, int tag) {
   require(src >= 0 && src < machine_.size(), "probe source out of range");
+  auto l = lock_ops();
   return machine_.mailbox(rank_).probe(src, tag);
 }
 
 void Communicator::set_wait_context(std::string ctx) {
+  auto l = lock_ops();
   machine_.mailbox(rank_).set_wait_context(std::move(ctx));
 }
 
@@ -169,6 +174,7 @@ Request Communicator::isend_bytes(int dst, int tag,
   require(dst >= 0 && dst < machine_.size(), "isend destination out of range");
   require(dst != rank_, "a rank may not send to itself");
 
+  auto l = lock_ops();
   const CostModel& cm = machine_.costs();
   const std::size_t idx = alloc_slot();
   RequestState& s = requests_[idx];
@@ -215,6 +221,7 @@ Request Communicator::irecv_bytes(int src, int tag, std::span<std::byte> out,
   require(src >= 0 && src < machine_.size(), "irecv source out of range");
   require(src != rank_, "a rank may not receive from itself");
 
+  auto l = lock_ops();
   const std::size_t idx = alloc_slot();
   RequestState& s = requests_[idx];
   s.kind = RequestState::Kind::kRecv;
@@ -250,6 +257,7 @@ void Communicator::complete_send(RequestState& s, bool allow_stall) {
 
 void Communicator::wait(Request& r) {
   if (!r.valid()) return;
+  auto l = lock_ops();
   RequestState& s = resolve(r);
   if (s.kind == RequestState::Kind::kSend) {
     complete_send(s, /*allow_stall=*/true);
@@ -262,6 +270,7 @@ void Communicator::wait(Request& r) {
 
 bool Communicator::test(Request& r) {
   if (!r.valid()) return true;
+  auto l = lock_ops();
   RequestState& s = resolve(r);
   if (s.kind == RequestState::Kind::kSend) {
     if (s.complete_vtime > vtime_) return false;
@@ -284,7 +293,19 @@ void Communicator::wait_all(std::span<Request> rs) {
   for (Request& r : rs) wait(r);
 }
 
+bool Communicator::arrived(const Request& r) {
+  if (!r.valid()) return true;
+  auto l = lock_ops();
+  RequestState& s = resolve(r);
+  if (s.kind == RequestState::Kind::kSend) return true;
+  // Drain first so a message sitting in a parallel-mode channel counts as
+  // arrived; done() alone would lag physical delivery by one drain.
+  machine_.mailbox(rank_).poll();
+  return s.posted.done();
+}
+
 std::size_t Communicator::wait_any(std::span<Request> rs) {
+  auto l = lock_ops();
   // Gather the live candidates once; resolve() validates each handle.
   std::vector<std::pair<std::size_t, RequestState*>> live;
   live.reserve(rs.size());

@@ -36,8 +36,10 @@
 //      carries.)
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <span>
 #include <type_traits>
 #include <vector>
@@ -77,6 +79,47 @@ class Communicator {
   int size() const;
   const CostModel& costs() const;
 
+  /// The machine this communicator belongs to (backend dispatch needs the
+  /// engine kind; the tasks backend needs the pool signal and extension
+  /// slot).
+  Machine& machine() { return machine_; }
+
+  // ---- concurrent-operations mode (the sched/ tasks backend) ----
+  //
+  // By default a Communicator is single-threaded: the owning rank's thread
+  // is the only caller, and no operation takes a lock. The work-stealing
+  // tasks backend breaks that assumption — any worker thread may run one of
+  // this rank's tasks, and a scanner thread may concurrently poll this
+  // rank's inflow requests. enable_concurrent_ops() arms a per-communicator
+  // recursive mutex that every leaf operation (compute, send/recv, request
+  // ops, probe) then takes, serializing the rank's virtual clock, request
+  // table, and mailbox consumer side. Recursive so that a thread holding
+  // the lock across a whole task (the static backend's determinism hold, or
+  // a scanner inside try_lock_ops()) can still call the self-locking ops.
+  // When not armed, lock_ops() returns an empty (no-op) lock, so the SPMD
+  // paths pay one relaxed atomic load per op and nothing else.
+
+  /// Arms concurrent mode for the rest of this communicator's life (there
+  /// is no disarm: the run that needed it is the run that made it).
+  void enable_concurrent_ops() {
+    concurrent_.store(true, std::memory_order_release);
+  }
+
+  /// Acquires the operation lock (blocking). Empty lock when concurrent
+  /// mode is off.
+  std::unique_lock<std::recursive_mutex> lock_ops() {
+    if (!concurrent_.load(std::memory_order_acquire)) return {};
+    return std::unique_lock<std::recursive_mutex>(op_mutex_);
+  }
+
+  /// Try-acquires the operation lock; an empty lock means some other worker
+  /// holds it (or concurrent mode is off — callers only use this when on).
+  std::unique_lock<std::recursive_mutex> try_lock_ops() {
+    if (!concurrent_.load(std::memory_order_acquire)) return {};
+    return std::unique_lock<std::recursive_mutex>(op_mutex_,
+                                                  std::try_to_lock);
+  }
+
   // ---- virtual time ----
 
   /// Charges `elements` worth of computation to this rank's virtual clock.
@@ -85,12 +128,20 @@ class Communicator {
   /// Advances the clock by an absolute amount of virtual time. Accounted
   /// as computation in the phase breakdown.
   void advance_time(double dt) {
+    auto l = lock_ops();
     tracer_.record(TraceEventType::kCompute, vtime_, vtime_ + dt);
     vtime_ += dt;
     phases_.t_comp += dt;
   }
 
-  double vtime() const { return vtime_; }
+  double vtime() const {
+    // Concurrent mode: another worker may be advancing this rank's clock
+    // inside a locked leaf op right now (two tasks of one rank on two
+    // workers), so the read must serialize with those mutations.
+    if (!concurrent_.load(std::memory_order_acquire)) return vtime_;
+    std::lock_guard<std::recursive_mutex> l(op_mutex_);
+    return vtime_;
+  }
 
   /// Engine seam: the stable address of this rank's virtual clock. The
   /// cooperative scheduler reads it to order runnable ranks
@@ -182,6 +233,17 @@ class Communicator {
   /// convention).
   bool test(Request& r);
 
+  /// Physical-completion predicate: true iff the operation behind `r` is
+  /// done in *real* time — sends always (the payload is deposited at post),
+  /// receives once the message physically arrived — regardless of this
+  /// rank's virtual clock. Unlike test() it never consumes the handle and
+  /// never refuses a message whose arrival stamp is still in the clock's
+  /// future (a subsequent wait() then charges the stall). The tasks
+  /// backend's promotion scan uses this: test()'s vtime gate would starve a
+  /// worker that has nothing else to advance its clock with. True for an
+  /// invalid handle.
+  bool arrived(const Request& r);
+
   /// Waits for every request in order (index 0 first). Equivalent to
   /// calling wait() on each in sequence; the index order makes the phase
   /// accounting deterministic.
@@ -205,7 +267,7 @@ class Communicator {
   /// result lands in `data` on every rank (MPI_Allreduce).
   template <typename T, typename Op>
   void allreduce(std::span<T> data, Op op) {
-    const double t0 = vtime_;
+    const double t0 = vtime();
     reduce_to_root(data, op, internal_tags::kReduce);
     broadcast_from_root(data, internal_tags::kBroadcast);
     note_collective(t0, data.size());
@@ -232,7 +294,7 @@ class Communicator {
   /// Broadcasts `data` from rank 0 to all ranks.
   template <typename T>
   void broadcast(std::span<T> data) {
-    const double t0 = vtime_;
+    const double t0 = vtime();
     broadcast_from_root(data, internal_tags::kBroadcast);
     note_collective(t0, data.size());
   }
@@ -241,7 +303,7 @@ class Communicator {
   /// order. Non-root ranks get an empty vector. Chunks may differ in size.
   template <typename T>
   std::vector<T> gather(std::span<const T> local) {
-    const double t0 = vtime_;
+    const double t0 = vtime();
     std::vector<T> out;
     if (rank_ == 0) {
       out.insert(out.end(), local.begin(), local.end());
@@ -393,6 +455,13 @@ class Communicator {
 
   Machine& machine_;
   int rank_;
+  // Concurrent-operations mode (tasks backend): armed once, never disarmed.
+  // Recursive so lock-holding scanners and whole-task holds can nest the
+  // self-locking leaf ops.
+  std::atomic<bool> concurrent_{false};
+  // Mutable so const readers (vtime()) can serialize against the locked
+  // mutators when concurrent mode is armed.
+  mutable std::recursive_mutex op_mutex_;
   double vtime_ = 0.0;
   // When the serialized send engine (NIC) is free again, under
   // occupy_sender. Blocking sends keep it equal to the clock, so programs

@@ -102,10 +102,19 @@ void Machine::run_parallel(
   struct ParallelGuard {
     std::vector<std::unique_ptr<Mailbox>>& boxes;
     ~ParallelGuard() {
-      for (auto& mb : boxes) mb->exit_parallel();
+      for (auto& mb : boxes) {
+        mb->set_pool_signal(nullptr);
+        mb->exit_parallel();
+      }
     }
   } guard{mailboxes_};
-  for (auto& mb : mailboxes_) mb->enter_parallel(size_);
+  for (auto& mb : mailboxes_) {
+    mb->enter_parallel(size_);
+    // Worker-pool seam: deposits/poisons into any mailbox also poke the
+    // machine-wide pool signal so tasks-backend workers parked with no
+    // runnable task anywhere re-scan for promotable inflows.
+    mb->set_pool_signal(&pool_signal_);
+  }
 
   const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
   const bool pin = engine_.pin_threads;

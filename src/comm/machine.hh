@@ -19,6 +19,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "comm/communicator.hh"
@@ -136,6 +137,22 @@ class Machine {
   /// Sum of messages still queued in all mailboxes (0 after a clean run).
   std::size_t pending_messages() const;
 
+  // ---- worker-pool seam (the sched/ tasks backend) ----
+
+  /// The machine-wide eventcount tasks-backend workers park on when no
+  /// task is runnable anywhere. run_parallel installs it into every mailbox
+  /// (set_pool_signal) before rank threads spawn, so parallel-mode deposits
+  /// and poisons wake idle pool workers as well as the destination rank.
+  PoolSignal& pool_signal() { return pool_signal_; }
+
+  /// Opaque per-machine extension slot for higher layers: the tasks backend
+  /// hangs its cross-rank rendezvous state (per-round task arenas) here, so
+  /// comm/ stays ignorant of sched/. Access only under extension_mutex().
+  /// The slot lives as long as the machine; whatever is stored must not
+  /// reference per-run state beyond its own lifetime rules.
+  std::shared_ptr<void>& extension() { return extension_; }
+  std::mutex& extension_mutex() { return extension_mutex_; }
+
  private:
   void run_threads(const std::function<void(int, FiberScheduler*)>& body);
   void run_fibers(const std::function<void(int, FiberScheduler*)>& body);
@@ -147,6 +164,9 @@ class Machine {
   EngineConfig engine_;
   DeliveryInterceptor* interceptor_ = nullptr;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  PoolSignal pool_signal_;
+  std::shared_ptr<void> extension_;
+  std::mutex extension_mutex_;
 };
 
 }  // namespace wavepipe

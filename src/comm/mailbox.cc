@@ -32,23 +32,34 @@ void Mailbox::exit_parallel() {
   parallel_.reset();
 }
 
+void Mailbox::absorb(Message m) {
+  // Matching mirrors the deposit paths below: a waiting posted receive gets
+  // the message directly, otherwise it queues.
+  const auto it = posted_.find(key_of(m.src, m.tag));
+  if (it != posted_.end() && !it->second.empty()) {
+    PostedRecv* slot = it->second.front();
+    it->second.pop_front();
+    complete(*slot, std::move(m));
+  } else {
+    queues_[key_of(m.src, m.tag)].push_back(std::move(m));
+    ++pending_;
+  }
+}
+
 void Mailbox::drain_channels() {
-  // Owner thread only. Matching here mirrors the deposit paths below: a
-  // waiting posted receive gets the message directly, otherwise it queues.
-  // Per-(src, tag) FIFO holds because each channel is itself FIFO and only
-  // rank `src` pushes into channel[src].
-  Message m;
+  // Serialized consumer side only. Per-(src, tag) FIFO holds because each
+  // channel is itself FIFO, only rank `src` pushes into channel[src], and
+  // batches are absorbed in pop order.
+  auto& scratch = parallel_->scratch;
   for (auto& ch : parallel_->channels) {
-    while (ch->pop(m)) {
-      const auto it = posted_.find(key_of(m.src, m.tag));
-      if (it != posted_.end() && !it->second.empty()) {
-        PostedRecv* slot = it->second.front();
-        it->second.pop_front();
-        complete(*slot, std::move(m));
-      } else {
-        queues_[key_of(m.src, m.tag)].push_back(std::move(m));
-        ++pending_;
-      }
+    for (;;) {
+      scratch.clear();
+      const std::size_t n = ch->pop_batch(scratch, kDrainBatch);
+      if (n == 0) break;
+      for (Message& m : scratch) absorb(std::move(m));
+      // A short batch means the channel ran dry mid-claim; skip the extra
+      // empty-probe round trip.
+      if (n < kDrainBatch) break;
     }
   }
 }
@@ -126,32 +137,21 @@ void Mailbox::deposit(Message m) {
                    "parallel deposit from out-of-range source rank");
     st.channels[src]->push(std::move(m));
     st.parker.unpark();
+    // Tasks backend: a pool worker parked machine-wide may be able to
+    // promote the task this message feeds; gated to a fence + load when no
+    // worker is idle.
+    if (PoolSignal* ps = pool_signal_.load(std::memory_order_acquire))
+      ps->notify();
     return;
   }
   if (blocker_) {
-    const auto it = posted_.find(key_of(m.src, m.tag));
-    if (it != posted_.end() && !it->second.empty()) {
-      PostedRecv* slot = it->second.front();
-      it->second.pop_front();
-      complete(*slot, std::move(m));
-    } else {
-      queues_[key_of(m.src, m.tag)].push_back(std::move(m));
-      ++pending_;
-    }
+    absorb(std::move(m));
     blocker_->notify(*this);
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = posted_.find(key_of(m.src, m.tag));
-    if (it != posted_.end() && !it->second.empty()) {
-      PostedRecv* slot = it->second.front();
-      it->second.pop_front();
-      complete(*slot, std::move(m));
-    } else {
-      queues_[key_of(m.src, m.tag)].push_back(std::move(m));
-      ++pending_;
-    }
+    absorb(std::move(m));
   }
   cv_.notify_all();
 }
@@ -164,7 +164,18 @@ Message Mailbox::await(int src, int tag) {
   slot.tag = tag;
   slot.what = "recv";
   post_recv(slot);
-  await_completion(slot);
+  try {
+    await_completion(slot);
+  } catch (...) {
+    // An exception can unwind through a block point (the fiber engine's
+    // low-stack check, an engine teardown) after the slot matched nothing.
+    // The slot lives in this stack frame: leaving it registered would let
+    // a later deposit complete into a dead frame and corrupt whatever
+    // reuses the memory. (A message that *did* land in the slot stays
+    // consumed — per-(src,tag) FIFO has already advanced past it.)
+    if (!slot.done()) cancel_recv(slot);
+    throw;
+  }
   return std::move(slot.msg);
 }
 
@@ -291,6 +302,9 @@ void Mailbox::poison(const std::string& why) {
       poisoned_.store(true, std::memory_order_release);
     }
     parallel_->parker.unpark();
+    // Pool workers idle-parked machine-wide must also observe the teardown.
+    if (PoolSignal* ps = pool_signal_.load(std::memory_order_acquire))
+      ps->notify();
     return;
   }
   if (blocker_) {

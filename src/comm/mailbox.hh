@@ -25,11 +25,15 @@
 // poison notifies it. In parallel mode (enter_parallel, used by
 // WAVEPIPE_ENGINE=parallel) there is no mutex on the message path at all:
 // each sending rank owns a lock-free SPSC channel into this mailbox, a
-// deposit is one channel push plus a Parker unpark, and the owning rank —
-// the only thread that ever touches the matching maps — drains the
-// channels whenever it looks for a message and parks on the eventcount
-// when all of them are empty. See DESIGN.md §13 for the full memory-
-// ordering contract.
+// deposit is one channel push plus a Parker unpark, and the consumer side —
+// externally serialized, so the matching maps only ever see one thread at a
+// time — drains the channels whenever it looks for a message and parks on
+// the eventcount when all of them are empty. Under SPMD execution the
+// serialized consumer is simply the owning rank's thread; the tasks backend
+// (sched/parallel_executor) lets any worker thread act as the consumer by
+// holding the rank's Communicator operation lock, which provides both the
+// exclusion and the happens-before hand-off between consecutive consumers.
+// See DESIGN.md §13 and §14 for the full memory-ordering contract.
 #pragma once
 
 #include <atomic>
@@ -141,10 +145,11 @@ class Mailbox {
   /// report to name the requests every blocked rank is stuck on.
   std::string posted_summary() const;
 
-  /// Drains any parallel-mode channels into the matching structures (owner
-  /// thread only); a no-op in the other modes. The real-time-safe polling
-  /// seam: Communicator::test calls this so nonblocking completion checks
-  /// observe physically arrived messages without ever blocking or locking.
+  /// Drains any parallel-mode channels into the matching structures
+  /// (serialized consumer side only); a no-op in the other modes. The
+  /// real-time-safe polling seam: Communicator::test calls this so
+  /// nonblocking completion checks observe physically arrived messages
+  /// without ever blocking or locking.
   void poll();
 
   /// Attaches (or with nullptr detaches) a cooperative engine. While
@@ -154,8 +159,11 @@ class Mailbox {
 
   /// Switches the mailbox into parallel (lock-free) mode with one SPSC
   /// channel per possible sender. While in this mode all matching-map
-  /// operations (post/await/probe/...) must come from the single owning
-  /// rank thread; deposit() and poison() may come from any rank thread.
+  /// operations (post/await/probe/...) must come from an externally
+  /// serialized consumer side — one thread at a time, with a happens-before
+  /// edge between consecutive consumers (the SPMD engines use the owning
+  /// rank's single thread; the tasks backend uses the rank's Communicator
+  /// operation lock). deposit() and poison() may come from any rank thread.
   /// A Machine enters for the duration of one parallel-engine run.
   void enter_parallel(int nranks);
 
@@ -164,6 +172,23 @@ class Mailbox {
   /// the locked mode. Requires quiescence — the Machine calls it after all
   /// rank threads joined.
   void exit_parallel();
+
+  /// Attaches (or with nullptr detaches) the machine-level worker-pool
+  /// signal. While attached, every parallel-mode deposit and poison also
+  /// calls signal->notify() after waking this mailbox's own parker, so a
+  /// tasks-backend worker parked on the *pool* eventcount (rather than on
+  /// any one rank's mailbox) still wakes when an inflow it could promote
+  /// arrives anywhere in the machine. Gated by PoolSignal::idlers, this
+  /// costs non-tasks runs one fence + one relaxed-ish load per deposit.
+  /// Set by Machine::run_parallel before rank threads spawn.
+  void set_pool_signal(PoolSignal* signal) {
+    pool_signal_.store(signal, std::memory_order_release);
+  }
+
+  /// True once poison() was called in any mode: a lock-free peek for pool
+  /// schedulers deciding whether an idle wait should be abandoned (the
+  /// machine is tearing down, so no more work is coming).
+  bool failed() const { return poisoned(); }
 
   /// Free-form label for what the owning rank is currently blocked doing
   /// (e.g. the scheduler task whose inflow it awaits). Purely diagnostic:
@@ -198,9 +223,26 @@ class Mailbox {
     explicit ParallelState(int nranks);
     std::vector<std::unique_ptr<SpscQueue<Message>>> channels;
     Parker parker;
+    // Consumer-owned batch buffer for drain_channels (reused across drains
+    // so the steady state allocates nothing).
+    std::vector<Message> scratch;
   };
-  // Moves every channel message into the matching maps (owner thread only).
+  /// Messages claimed from the SPSC channels per matching pass. The batch
+  /// bounds how long one drain pass can monopolize the consumer (a rank
+  /// must get back to running tasks), while the short-batch early exit in
+  /// drain_channels() saves the empty probe after a channel runs dry. The
+  /// linked queue pays one acquire per node regardless, so raw pop
+  /// throughput measures flat across batch sizes (a 2-thread
+  /// million-message pop-vs-pop_batch probe reads ~22 Mmsg/s at 1, 8, 32,
+  /// and 128 alike on a single-core host); 32 is chosen as comfortably
+  /// past any burst the schedulers generate per tile.
+  static constexpr std::size_t kDrainBatch = 32;
+  // Moves every channel message into the matching maps (serialized consumer
+  // side only).
   void drain_channels();
+  // Match-or-queue one drained message (shared with the locked deposit
+  // paths' inline matching).
+  void absorb(Message m);
   bool poisoned() const {
     return poisoned_.load(std::memory_order_acquire);
   }
@@ -216,6 +258,9 @@ class Mailbox {
   std::size_t pending_ = 0;
   MailboxBlocker* blocker_ = nullptr;
   std::unique_ptr<ParallelState> parallel_;
+  // The machine-level worker-pool eventcount (tasks backend); atomic because
+  // deposit() readers race the Machine's install/uninstall around runs.
+  std::atomic<PoolSignal*> pool_signal_{nullptr};
   // Atomic because parallel-mode producers poison concurrently with the
   // owner's lock-free checks; the reason string is published by the release
   // store of the flag (claim_ arbitrates which poisoner writes it).

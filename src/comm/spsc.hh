@@ -22,11 +22,14 @@
 // the condvar predicate, re-checks under the kernel's own lock).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 #if defined(__linux__)
 #include <linux/futex.h>
@@ -83,6 +86,29 @@ class SpscQueue {
     return true;
   }
 
+  /// Consumer side: pops up to `max` elements in FIFO order, appending them
+  /// to `out`. Returns the number popped (0 when the queue is empty). The
+  /// linked structure still costs one acquire load per element, but a batch
+  /// lets the caller amortize everything *around* the pops — the mailbox
+  /// drains a whole burst per matching pass instead of interleaving one
+  /// match-dispatch per message (see Mailbox::kDrainBatch for how the
+  /// default is chosen). Elements already appended stay popped even if the
+  /// caller
+  /// stops early (e.g. a poison observed mid-batch): the queue has no
+  /// un-pop, exactly like repeated pop() calls.
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max) {
+    std::size_t n = 0;
+    while (n < max) {
+      Node* next = head_->next.load(std::memory_order_acquire);
+      if (!next) break;
+      out.push_back(std::move(next->value));
+      delete head_;
+      head_ = next;
+      ++n;
+    }
+    return n;
+  }
+
   /// Consumer side: true when no element is ready. (A concurrent push may
   /// make this stale immediately — callers re-check after Parker::prepare.)
   bool peek_empty() const {
@@ -122,6 +148,24 @@ class Parker {
   std::uint32_t prepare() { return epoch_.load(std::memory_order_acquire); }
 
   void park(std::uint32_t ticket) {
+    // Spin-then-park fast path: when wakeups tend to arrive within a few
+    // hundred nanoseconds (a peer mid-burst), the futex round trip costs
+    // more than just watching the epoch. The spin budget adapts: a spin
+    // that resolves grows it, a spin that falls through to the kernel
+    // shrinks it, so a consumer whose producer went quiet stops burning
+    // cycles after a few sleeps. The budget is a relaxed shared heuristic
+    // (the pool parker has many consumers); any torn update is just a
+    // slightly wrong hint.
+    std::uint32_t budget = spin_budget_.load(std::memory_order_relaxed);
+    for (std::uint32_t i = 0; i < budget; ++i) {
+      if (epoch_.load(std::memory_order_seq_cst) != ticket) {
+        spin_budget_.store(std::min(kSpinMax, budget * 2 + 16),
+                           std::memory_order_relaxed);
+        return;
+      }
+      cpu_relax();
+    }
+    spin_budget_.store(budget / 2, std::memory_order_relaxed);
 #if WAVEPIPE_HAS_FUTEX
     waiters_.fetch_add(1, std::memory_order_seq_cst);
     // FUTEX_WAIT atomically re-checks epoch_ == ticket under the kernel's
@@ -161,12 +205,49 @@ class Parker {
   }
 
  private:
+  static constexpr std::uint32_t kSpinMax = 4096;
+
+  static void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#endif
+  }
+
   alignas(64) std::atomic<std::uint32_t> epoch_{0};
   std::atomic<std::uint32_t> waiters_{0};
+  // Adaptive spin budget for park()'s pre-futex fast path. Starts small so
+  // single-core hosts (where spinning can only delay the producer) fall
+  // through to the kernel almost immediately and halve it further.
+  std::atomic<std::uint32_t> spin_budget_{64};
 #if !WAVEPIPE_HAS_FUTEX
   std::mutex mutex_;
   std::condition_variable cv_;
 #endif
+};
+
+/// Machine-level worker-pool signal (the tasks-backend seam): one shared
+/// eventcount every worker thread parks on when it finds no runnable task
+/// anywhere, plus the idler count that gates the producer-side wakeup.
+///
+/// Producer protocol: publish work (a deposit into any mailbox channel, a
+/// task release, a poison), then call notify(). Consumer protocol:
+/// idlers.fetch_add(seq_cst); ticket = parker.prepare(); re-check for work;
+/// parker.park(ticket); idlers.fetch_sub(seq_cst). The seq_cst fence in
+/// notify() pairs with the consumer's seq_cst increment (the classic
+/// store-buffer pattern): either the consumer's re-check observes the
+/// published work, or the producer observes idlers > 0 and bumps the epoch
+/// the consumer's ticket predates — so the gated wakeup cannot be missed,
+/// while the common no-idlers case costs producers one fence + one load.
+struct PoolSignal {
+  std::atomic<int> idlers{0};
+  Parker parker;
+
+  void notify() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (idlers.load(std::memory_order_seq_cst) > 0) parker.unpark();
+  }
 };
 
 }  // namespace wavepipe

@@ -60,8 +60,13 @@ int apply_distributed(const Region<E::rank>& region,
   const Region<R> local = region.intersect(layout.owned(comm.rank()));
   apply_statement(local, spec);
   if (charge) comm.compute(static_cast<double>(local.size()));
-  comm.tracer().record(TraceEventType::kStatement, t0, comm.vtime(), -1,
-                       tag_base, static_cast<std::uint64_t>(local.size()));
+  {
+    // The tasks backend may run two of a rank's statement chunks on two
+    // workers at once; the trace ring is part of the lock-guarded state.
+    auto l = comm.lock_ops();
+    comm.tracer().record(TraceEventType::kStatement, t0, comm.vtime(), -1,
+                         tag_base, static_cast<std::uint64_t>(local.size()));
+  }
   return 2 * static_cast<int>(R);
 }
 

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "comm/communicator.hh"
+#include "comm/machine.hh"
+#include "sched/parallel_executor.hh"
 
 namespace wavepipe {
 
@@ -19,6 +21,16 @@ const char* to_string(SchedPolicy p) {
       return "diagonal";
     case SchedPolicy::kCriticalPath:
       return "critical";
+  }
+  return "?";
+}
+
+const char* to_string(SchedBackend b) {
+  switch (b) {
+    case SchedBackend::kSpmd:
+      return "spmd";
+    case SchedBackend::kTasks:
+      return "tasks";
   }
   return "?";
 }
@@ -62,10 +74,116 @@ SchedOptions SchedOptions::from_env() {
           "WAVEPIPE_SCHED_UNSAFE_STATIC expects '0' or '1', got '" + s + "'");
     }
   }
+  if (const char* v = std::getenv("WAVEPIPE_SCHED_BACKEND")) {
+    const std::string s(v);
+    if (s == "spmd" || s.empty()) {
+      opts.backend = SchedBackend::kSpmd;
+    } else if (s == "tasks") {
+      opts.backend = SchedBackend::kTasks;
+    } else {
+      throw ConfigError("WAVEPIPE_SCHED_BACKEND expects 'spmd' or 'tasks', "
+                        "got '" + s + "'");
+    }
+  }
+  // Cross-validate against an explicit engine selection: the tasks backend
+  // only exists on the parallel engine's threads, and a silent SPMD
+  // fallback would quietly discard the configuration the user asked for.
+  // run_graph re-checks against the machine that actually runs (the
+  // authoritative gate); this early check catches the env-vs-env conflict
+  // at configuration time, before any machine exists.
+  if (opts.backend == SchedBackend::kTasks) {
+    if (const char* e = std::getenv("WAVEPIPE_ENGINE")) {
+      const std::string s(e);
+      if (!s.empty() && s != "parallel") {
+        throw ConfigError(
+            "WAVEPIPE_SCHED_BACKEND=tasks requires the parallel engine, but "
+            "WAVEPIPE_ENGINE='" + s +
+            "'. Valid combinations: backend 'spmd' with any engine, or "
+            "backend 'tasks' with WAVEPIPE_ENGINE=parallel");
+      }
+    }
+  }
   return opts;
 }
 
-class SchedExecutor {
+namespace sched_internal {
+
+GraphAnalysis analyze_graph(const TaskGraph& graph, SchedPolicy policy) {
+  GraphAnalysis a;
+  const std::size_t n = graph.size();
+  a.deps.resize(n);
+  std::vector<TaskId> topo;
+  topo.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.deps[i] = graph.predecessors(static_cast<TaskId>(i));
+    if (a.deps[i] == 0) topo.push_back(static_cast<TaskId>(i));
+  }
+  std::vector<int> indeg = a.deps;
+  for (std::size_t head = 0; head < topo.size(); ++head) {
+    for (const TaskId s : graph.successors(topo[head]))
+      if (--indeg[static_cast<std::size_t>(s)] == 0) topo.push_back(s);
+  }
+  if (topo.size() != n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (indeg[i] > 0)
+        throw SchedError("task graph has a dependence cycle through task '" +
+                         graph.task(static_cast<TaskId>(i)).label + "'");
+    }
+  }
+  if (policy == SchedPolicy::kCriticalPath) {
+    a.prio.assign(n, 0.0);
+    for (std::size_t i = topo.size(); i-- > 0;) {
+      const TaskId t = topo[i];
+      double tail = 0.0;
+      for (const TaskId s : graph.successors(t))
+        tail = std::max(tail, a.prio[static_cast<std::size_t>(s)]);
+      a.prio[static_cast<std::size_t>(t)] = graph.task(t).cost + tail;
+    }
+  }
+  return a;
+}
+
+void check_static_safe(const TaskGraph& graph, const SchedOptions& opts) {
+  // Fail fast on the cross-rank deadlock caveat (executor.hh header): a
+  // static non-FIFO pick order over a graph that blocks on another rank's
+  // sends can deadlock in ways this rank cannot detect from its own graph,
+  // so refuse before running anything rather than hang (threaded/parallel
+  // engines) or unwind mid-graph (fiber engine's detector).
+  if (opts.adaptive || opts.policy == SchedPolicy::kFifo ||
+      opts.allow_unsafe_static)
+    return;
+  const std::size_t n = graph.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const TaskGraph::Task& task = graph.task(static_cast<TaskId>(i));
+    if (task.inflow_src < 0) continue;
+    throw SchedError(
+        "static " + std::string(to_string(opts.policy)) +
+        " scheduling over a cross-rank graph (task '" + task.label +
+        "' has inflow from rank " + std::to_string(task.inflow_src) +
+        ") can deadlock: the pick order may block a receive ahead of the "
+        "send its peer needs. Use adaptive mode, the fifo policy, or set "
+        "SchedOptions::allow_unsafe_static / WAVEPIPE_SCHED_UNSAFE_STATIC=1 "
+        "after verifying the global schedule is consistent");
+  }
+}
+
+std::pair<double, TaskId> task_key(const TaskGraph& graph,
+                                   const GraphAnalysis& analysis,
+                                   SchedPolicy policy, TaskId t) {
+  switch (policy) {
+    case SchedPolicy::kFifo:
+      return {0.0, t};
+    case SchedPolicy::kDiagonal:
+      return {static_cast<double>(graph.task(t).diagonal), t};
+    case SchedPolicy::kCriticalPath:
+      return {-analysis.prio[static_cast<std::size_t>(t)], t};
+  }
+  return {0.0, t};
+}
+
+}  // namespace sched_internal
+
+class SchedExecutor : public TaskSink {
  public:
   SchedExecutor(const TaskGraph& graph, Communicator& comm,
                 const SchedOptions& opts)
@@ -73,7 +191,7 @@ class SchedExecutor {
 
   SchedReport run();
 
-  void add_send(int dst, std::span<const double> payload, int tag) {
+  void task_send(int dst, std::span<const double> payload, int tag) override {
     sends_.push_back(comm_.isend(dst, payload, tag));
   }
 
@@ -83,21 +201,8 @@ class SchedExecutor {
   using Key = std::pair<double, TaskId>;
 
   Key key(TaskId t) const {
-    switch (opts_.policy) {
-      case SchedPolicy::kFifo:
-        return {0.0, t};
-      case SchedPolicy::kDiagonal:
-        return {static_cast<double>(graph_.task(t).diagonal), t};
-      case SchedPolicy::kCriticalPath:
-        return {-prio_[static_cast<std::size_t>(t)], t};
-    }
-    return {0.0, t};
+    return sched_internal::task_key(graph_, analysis_, opts_.policy, t);
   }
-
-  /// Kahn topological pass: rejects cycles (naming a task on one) and, for
-  /// the critical-path policy, fills prio_[t] with the cost-weighted length
-  /// of the longest path from t to any sink.
-  void analyze();
 
   void release(TaskId t);
   void run_task(TaskId t);
@@ -108,8 +213,8 @@ class SchedExecutor {
   Communicator& comm_;
   const SchedOptions opts_;
 
+  sched_internal::GraphAnalysis analysis_;
   std::vector<int> deps_;
-  std::vector<double> prio_;
   std::priority_queue<std::pair<Key, TaskId>,
                       std::vector<std::pair<Key, TaskId>>, std::greater<>>
       ready_;
@@ -121,43 +226,6 @@ class SchedExecutor {
   std::vector<Request> sends_;
   SchedReport report_;
 };
-
-void TaskContext::send(int dst, std::span<const double> payload, int tag) {
-  exec_.add_send(dst, payload, tag);
-}
-
-void SchedExecutor::analyze() {
-  const std::size_t n = graph_.size();
-  deps_.resize(n);
-  std::vector<TaskId> topo;
-  topo.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    deps_[i] = graph_.predecessors(static_cast<TaskId>(i));
-    if (deps_[i] == 0) topo.push_back(static_cast<TaskId>(i));
-  }
-  std::vector<int> indeg = deps_;
-  for (std::size_t head = 0; head < topo.size(); ++head) {
-    for (const TaskId s : graph_.successors(topo[head]))
-      if (--indeg[static_cast<std::size_t>(s)] == 0) topo.push_back(s);
-  }
-  if (topo.size() != n) {
-    for (std::size_t i = 0; i < n; ++i) {
-      if (indeg[i] > 0)
-        throw SchedError("task graph has a dependence cycle through task '" +
-                         graph_.task(static_cast<TaskId>(i)).label + "'");
-    }
-  }
-  if (opts_.policy == SchedPolicy::kCriticalPath) {
-    prio_.assign(n, 0.0);
-    for (std::size_t i = topo.size(); i-- > 0;) {
-      const TaskId t = topo[i];
-      double tail = 0.0;
-      for (const TaskId s : graph_.successors(t))
-        tail = std::max(tail, prio_[static_cast<std::size_t>(s)]);
-      prio_[static_cast<std::size_t>(t)] = graph_.task(t).cost + tail;
-    }
-  }
-}
 
 void SchedExecutor::release(TaskId t) {
   const TaskGraph::Task& task = graph_.task(t);
@@ -227,27 +295,10 @@ SchedReport SchedExecutor::run() {
   report_.edges = graph_.edges();
   report_.policy = opts_.policy;
   report_.adaptive = opts_.adaptive;
-  analyze();
-  // Fail fast on the cross-rank deadlock caveat (header comment): a static
-  // non-FIFO pick order over a graph that blocks on another rank's sends
-  // can deadlock in ways this rank cannot detect from its own graph, so
-  // refuse before running anything rather than hang (threaded/parallel
-  // engines) or unwind mid-graph (fiber engine's detector).
-  if (!opts_.adaptive && opts_.policy != SchedPolicy::kFifo &&
-      !opts_.allow_unsafe_static) {
-    for (std::size_t i = 0; i < n; ++i) {
-      const TaskGraph::Task& task = graph_.task(static_cast<TaskId>(i));
-      if (task.inflow_src < 0) continue;
-      throw SchedError(
-          "static " + std::string(to_string(opts_.policy)) +
-          " scheduling over a cross-rank graph (task '" + task.label +
-          "' has inflow from rank " + std::to_string(task.inflow_src) +
-          ") can deadlock: the pick order may block a receive ahead of the "
-          "send its peer needs. Use adaptive mode, the fifo policy, or set "
-          "SchedOptions::allow_unsafe_static / WAVEPIPE_SCHED_UNSAFE_STATIC=1 "
-          "after verifying the global schedule is consistent");
-    }
-  }
+  report_.backend = SchedBackend::kSpmd;
+  analysis_ = sched_internal::analyze_graph(graph_, opts_.policy);
+  deps_ = analysis_.deps;
+  sched_internal::check_static_safe(graph_, opts_);
   inflow_buf_.resize(n);
   for (std::size_t i = 0; i < n; ++i)
     if (deps_[i] == 0) release(static_cast<TaskId>(i));
@@ -323,7 +374,25 @@ SchedReport SchedExecutor::run() {
 
 SchedReport run_graph(const TaskGraph& graph, Communicator& comm,
                       const SchedOptions& opts) {
+  if (opts.backend == SchedBackend::kTasks) {
+    // Authoritative engine gate: whatever the env said, the machine that is
+    // actually running decides. Never a silent SPMD fallback.
+    if (comm.machine().engine() != EngineKind::kParallel)
+      throw ConfigError(
+          "SchedOptions::backend=tasks requires the parallel engine, but "
+          "this machine runs '" +
+          std::string(to_string(comm.machine().engine())) +
+          "'. Valid combinations: backend 'spmd' with any engine, or "
+          "backend 'tasks' with WAVEPIPE_ENGINE=parallel");
+    if (comm.size() > 1) return run_graph_tasks(graph, comm, opts);
+    // A one-rank machine runs inline on the calling thread (no worker
+    // pool exists), so the tasks backend degenerates to the SPMD walk —
+    // same single thread, same order, same result.
+  }
   SchedExecutor exec(graph, comm, opts);
+  // The report's backend field stays kSpmd here even when kTasks was
+  // requested on a one-rank machine: it names the executor that actually
+  // ran, and callers can see the degeneration rather than infer it.
   return exec.run();
 }
 

@@ -57,6 +57,9 @@
 // unwind rethrows SchedError naming the same task(s).
 #pragma once
 
+#include <utility>
+#include <vector>
+
 #include "sched/graph.hh"
 
 namespace wavepipe {
@@ -72,6 +75,22 @@ enum class SchedPolicy {
 
 const char* to_string(SchedPolicy p);
 
+/// Which executor runs the graph.
+enum class SchedBackend {
+  /// One rank, one thread: the rank's own thread walks its graph (works
+  /// under every engine; the fiber engine is the determinism oracle).
+  kSpmd,
+  /// Work-stealing task pool (sched/parallel_executor): ready tasks — not
+  /// ranks — map onto the parallel engine's worker threads, so an idle
+  /// worker whose rank's wavefront stalled steals another rank's runnable
+  /// tile. Requires WAVEPIPE_ENGINE=parallel; produces byte-identical
+  /// values (and, for static-FIFO graphs, byte-identical vtimes) to the
+  /// SPMD backend — wall_seconds is where the difference shows.
+  kTasks,
+};
+
+const char* to_string(SchedBackend b);
+
 struct SchedOptions {
   SchedPolicy policy = SchedPolicy::kCriticalPath;
   /// Arrival-aware task pickup (see header comment). Probe-class when
@@ -83,12 +102,20 @@ struct SchedOptions {
   /// WAVEPIPE_SCHED_UNSAFE_STATIC=1) to assert the global pick order is
   /// consistent and run anyway.
   bool allow_unsafe_static = false;
+  /// Executor backend (see SchedBackend). kTasks needs the parallel
+  /// engine: run_graph throws a typed ConfigError — never a silent SPMD
+  /// fallback — when the machine runs fibers or threads.
+  SchedBackend backend = SchedBackend::kSpmd;
 
   /// WAVEPIPE_SCHED_POLICY=fifo|diagonal|critical selects the policy;
   /// WAVEPIPE_SCHED_ADAPTIVE=0|1 selects the arrival mode;
   /// WAVEPIPE_SCHED_UNSAFE_STATIC=0|1 opts into static non-FIFO over
-  /// cross-rank graphs. (Distinct from WAVEPIPE_SCHED, which seeds the
-  /// *fiber* scheduler.) Unparseable values throw ConfigError.
+  /// cross-rank graphs; WAVEPIPE_SCHED_BACKEND=spmd|tasks selects the
+  /// executor backend (tasks additionally cross-validates against an
+  /// explicit non-parallel WAVEPIPE_ENGINE — the combination is a
+  /// ConfigError here, before any machine exists). (Distinct from
+  /// WAVEPIPE_SCHED, which seeds the *fiber* scheduler.) Unparseable
+  /// values throw ConfigError.
   static SchedOptions from_env();
 };
 
@@ -104,6 +131,11 @@ struct SchedReport {
   std::size_t blocked_waits = 0;
   /// High-water mark of simultaneously posted inflow irecvs.
   std::size_t max_posted = 0;
+  /// The backend that actually executed the graph.
+  SchedBackend backend = SchedBackend::kSpmd;
+  /// Tasks backend only: how many of this rank's tasks ran on another
+  /// rank's worker thread — the cross-rank overlap SPMD cannot express.
+  std::size_t steals = 0;
 };
 
 /// Runs the graph to completion on this rank. Collective only through the
@@ -113,5 +145,34 @@ struct SchedReport {
 /// into a SchedError naming the task(s) that were stuck.
 SchedReport run_graph(const TaskGraph& graph, Communicator& comm,
                       const SchedOptions& opts = SchedOptions::from_env());
+
+namespace sched_internal {
+
+/// Shared pre-execution analysis, used by both backends so they agree on
+/// cycle rejection and priorities to the bit.
+struct GraphAnalysis {
+  /// Initial dependence (incoming-edge) count per task.
+  std::vector<int> deps;
+  /// Critical-path priorities (cost-weighted longest path to a sink);
+  /// empty unless the policy is kCriticalPath.
+  std::vector<double> prio;
+};
+
+/// Kahn topological pass: throws SchedError on a cycle (naming a task on
+/// it) and fills priorities when the policy needs them.
+GraphAnalysis analyze_graph(const TaskGraph& graph, SchedPolicy policy);
+
+/// The fail-fast guard for static non-FIFO schedules over cross-rank
+/// graphs (see the header comment's caveat): throws SchedError unless the
+/// combination is safe or explicitly allowed.
+void check_static_safe(const TaskGraph& graph, const SchedOptions& opts);
+
+/// The policy's total order: smaller key runs first, ties break toward the
+/// smaller (earlier) task id.
+std::pair<double, TaskId> task_key(const TaskGraph& graph,
+                                   const GraphAnalysis& analysis,
+                                   SchedPolicy policy, TaskId t);
+
+}  // namespace sched_internal
 
 }  // namespace wavepipe

@@ -28,6 +28,7 @@ namespace wavepipe {
 
 class Communicator;
 class SchedExecutor;
+class TaskArena;
 
 /// A scheduler failure: a dependence cycle, a starved graph (tasks remain
 /// but none can ever run), or a communication deadlock attributed to the
@@ -41,6 +42,20 @@ class SchedError : public Error {
 using TaskId = std::int32_t;
 inline constexpr TaskId kNoTask = -1;
 
+/// Backend seam behind TaskContext::send: whichever executor runs the task
+/// owns the outflow-request bookkeeping (the SPMD executor keeps a plain
+/// vector; the work-stealing tasks backend keeps a per-rank slot its
+/// workers reach under the rank's operation lock). Task bodies never see
+/// the difference.
+class TaskSink {
+ public:
+  virtual ~TaskSink() = default;
+  /// Issues the nonblocking send and records its request for the
+  /// end-of-graph settlement pass.
+  virtual void task_send(int dst, std::span<const double> payload,
+                         int tag) = 0;
+};
+
 /// What a running task sees. `inflow` is the task's received payload
 /// (empty when the task declared none); send() issues a nonblocking send
 /// whose completion the executor settles in posting order after the graph
@@ -50,12 +65,15 @@ class TaskContext {
   Communicator& comm;
   std::span<const double> inflow;
 
-  void send(int dst, std::span<const double> payload, int tag);
+  void send(int dst, std::span<const double> payload, int tag) {
+    sink_.task_send(dst, payload, tag);
+  }
 
  private:
   friend class SchedExecutor;
-  TaskContext(Communicator& c, SchedExecutor& e) : comm(c), exec_(e) {}
-  SchedExecutor& exec_;
+  friend class TaskArena;
+  TaskContext(Communicator& c, TaskSink& s) : comm(c), sink_(s) {}
+  TaskSink& sink_;
 };
 
 class TaskGraph {

@@ -1,0 +1,734 @@
+#include "sched/parallel_executor.hh"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <span>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "comm/communicator.hh"
+#include "comm/machine.hh"
+#include "comm/spsc.hh"
+#include "support/error.hh"
+
+namespace wavepipe {
+
+// ---- WorkStealingDeque ----------------------------------------------------
+
+WorkStealingDeque::WorkStealingDeque() : array_(new Array(64)) {}
+
+WorkStealingDeque::~WorkStealingDeque() {
+  delete array_.load(std::memory_order_relaxed);
+  for (Array* a : retired_) delete a;
+}
+
+void WorkStealingDeque::push(std::int64_t v) {
+  const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+  const std::int64_t t = top_.load(std::memory_order_seq_cst);
+  Array* a = array_.load(std::memory_order_seq_cst);
+  if (b - t >= a->capacity - 1) a = grow(a, b, t);
+  a->put(b, v);
+  bottom_.store(b + 1, std::memory_order_seq_cst);
+}
+
+WorkStealingDeque::Array* WorkStealingDeque::grow(Array* a, std::int64_t b,
+                                                  std::int64_t t) {
+  // Owner-only (called from push). Thieves may still be reading the old
+  // array through their loaded pointer, so it is retired, not freed.
+  Array* bigger = new Array(a->capacity * 2);
+  for (std::int64_t i = t; i < b; ++i) bigger->put(i, a->get(i));
+  retired_.push_back(a);
+  array_.store(bigger, std::memory_order_seq_cst);
+  return bigger;
+}
+
+bool WorkStealingDeque::pop(std::int64_t& out) {
+  const std::int64_t b = bottom_.load(std::memory_order_seq_cst) - 1;
+  Array* a = array_.load(std::memory_order_seq_cst);
+  bottom_.store(b, std::memory_order_seq_cst);
+  std::int64_t t = top_.load(std::memory_order_seq_cst);
+  if (t > b) {
+    // Empty: restore bottom.
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return false;
+  }
+  out = a->get(b);
+  if (t == b) {
+    // Last item: race the thieves for it with the CAS they use. Win or
+    // lose, the deque is empty, so bottom resets past the contested slot.
+    const bool won = top_.compare_exchange_strong(t, t + 1,
+                                                  std::memory_order_seq_cst);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return won;
+  }
+  return true;
+}
+
+bool WorkStealingDeque::steal(std::int64_t& out) {
+  std::int64_t t = top_.load(std::memory_order_seq_cst);
+  const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+  if (t >= b) return false;
+  Array* a = array_.load(std::memory_order_seq_cst);
+  out = a->get(t);
+  // The CAS claims the slot; losing means another thief (or the owner's
+  // last-item pop) got there first.
+  return top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst);
+}
+
+bool WorkStealingDeque::empty() const {
+  const std::int64_t t = top_.load(std::memory_order_seq_cst);
+  const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+  return t >= b;
+}
+
+// ---- task arena -----------------------------------------------------------
+
+namespace {
+
+// Deque items pack (rank, task) into one int64: rank in the high half, the
+// task id (non-negative) in the low half.
+constexpr std::int64_t pack_item(int rank, TaskId t) {
+  return (static_cast<std::int64_t>(rank) << 32) |
+         static_cast<std::int64_t>(static_cast<std::uint32_t>(t));
+}
+constexpr int item_rank(std::int64_t v) { return static_cast<int>(v >> 32); }
+constexpr TaskId item_task(std::int64_t v) {
+  return static_cast<TaskId>(static_cast<std::uint32_t>(v));
+}
+
+}  // namespace
+
+/// The shared state of one collective run_graph_tasks round: every rank of
+/// the machine enters, installs a slot, and its thread becomes a worker of
+/// the pool until its own rank's graph is fully executed. Named (not in an
+/// anonymous namespace) because TaskContext befriends it.
+class TaskArena {
+ public:
+  TaskArena(int nranks, PoolSignal& signal)
+      : nranks_(nranks), signal_(signal),
+        storage_(static_cast<std::size_t>(nranks)),
+        live_(static_cast<std::size_t>(nranks)) {
+    for (auto& p : live_) p.store(nullptr, std::memory_order_relaxed);
+  }
+
+  SchedReport run(const TaskGraph& graph, Communicator& comm,
+                  const SchedOptions& opts);
+
+  bool all_departed() const {
+    return departed_n_.load(std::memory_order_acquire) == nranks_;
+  }
+
+ private:
+  using Key = std::pair<double, TaskId>;
+  using KeyedTask = std::pair<Key, TaskId>;
+
+  /// Per-rank slot. Split into lock-free fields (deque, dependence counts,
+  /// remaining, steals, departed) and consumer-side fields guarded by the
+  /// rank's Communicator operation lock (pending inflow requests, buffers,
+  /// outflow sends, the static-mode ready queue, the report).
+  struct RankSlot final : TaskSink {
+    RankSlot(TaskArena& a, const TaskGraph& g, Communicator& c,
+             const SchedOptions& o)
+        : arena(a), graph(g), comm(c), opts(o) {}
+
+    TaskArena& arena;
+    const TaskGraph& graph;
+    Communicator& comm;
+    const SchedOptions opts;
+    sched_internal::GraphAnalysis analysis;
+    int rank = -1;
+
+    // Lock-free.
+    WorkStealingDeque deque;  // this worker's ready items (any rank's tasks)
+    std::unique_ptr<std::atomic<int>[]> deps;
+    std::atomic<std::size_t> remaining{0};
+    std::atomic<std::size_t> steals{0};
+    std::atomic<bool> departed{false};
+
+    // Guarded by comm's operation lock.
+    std::vector<TaskId> pending;        // adaptive: inflow posted, in flight
+    std::vector<Request> pending_req;   // parallel to `pending`
+    std::vector<std::vector<double>> inflow_buf;
+    std::vector<Request> sends;
+    std::priority_queue<KeyedTask, std::vector<KeyedTask>, std::greater<>>
+        ready_pq;  // static mode: released tasks in the policy's order
+    SchedReport report;
+
+    Key key(TaskId t) const {
+      return sched_internal::task_key(graph, analysis, opts.policy, t);
+    }
+
+    void task_send(int dst, std::span<const double> payload,
+                   int tag) override {
+      // Reached from a task body on any worker: the op lock serializes the
+      // isend and the request-vector append with every other consumer-side
+      // operation on this rank.
+      auto l = comm.lock_ops();
+      sends.push_back(comm.isend(dst, payload, tag));
+    }
+  };
+
+  void worker_loop(RankSlot& my);
+  void run_item(RankSlot& my, std::int64_t v);
+  void finish_task(RankSlot& my, RankSlot& q, TaskId t);
+  bool promote(RankSlot& my, RankSlot& q);
+  bool assist(RankSlot& my, int r);
+  void drain_arrived(RankSlot& q, std::vector<KeyedTask>& got);
+  bool run_stream(RankSlot& my, int r);
+  void run_static_task(RankSlot& q, TaskId t);
+  bool find_work(RankSlot& my);
+  bool work_visible(RankSlot& my);
+  void idle_wait(RankSlot& my);
+  bool maybe_declare_deadlock(RankSlot& my);
+  void depart(RankSlot& my);
+  void push_ready_items(RankSlot& my, int rank, std::vector<KeyedTask>& items);
+  void release_locked(RankSlot& q, TaskId t, std::vector<KeyedTask>* ready);
+
+  void bump() {
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    signal_.notify();
+  }
+
+  void set_failed(const std::string& why) {
+    {
+      std::lock_guard<std::mutex> l(fail_mu_);
+      if (fail_reason_.empty()) fail_reason_ = why;
+    }
+    failed_.store(true, std::memory_order_seq_cst);
+    // Unconditional wake: every parked worker must observe the failure.
+    signal_.parker.unpark();
+  }
+
+  [[noreturn]] void throw_failed() {
+    std::lock_guard<std::mutex> l(fail_mu_);
+    throw SchedError(fail_reason_.empty() ? "tasks backend aborted"
+                                          : fail_reason_);
+  }
+
+  void check_aborted(RankSlot& my) {
+    if (failed_.load(std::memory_order_acquire)) throw_failed();
+    if (my.comm.machine().mailbox(my.rank).failed()) {
+      set_failed("tasks backend aborted on rank " + std::to_string(my.rank) +
+                 ": machine poisoned (a peer rank failed)");
+      throw_failed();
+    }
+  }
+
+  bool aborted(RankSlot& my) const {
+    return failed_.load(std::memory_order_acquire) ||
+           my.comm.machine().mailbox(my.rank).failed();
+  }
+
+  [[noreturn]] void fail_stuck(RankSlot& q, TaskId t, const Error& cause) {
+    // Same shape as the SPMD backend's rethrow_deadlock, so a hang names
+    // the stuck *task* no matter which backend ran it.
+    const TaskGraph::Task& task = q.graph.task(t);
+    std::ostringstream os;
+    os << "scheduler deadlock on rank " << q.comm.rank() << ": stuck on task '"
+       << task.label << "' (inflow src=" << task.inflow_src
+       << " tag=" << task.inflow_tag << "); " << cause.what();
+    set_failed(os.str());
+    throw SchedError(os.str());
+  }
+
+  const int nranks_;
+  PoolSignal& signal_;
+  std::atomic<int> registered_{0};
+  std::atomic<int> departed_n_{0};
+  // Bumped on registration, every task completion, every promotion batch,
+  // and departure: the idle/deadlock protocol's "something changed" clock.
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<bool> failed_{false};
+  std::mutex fail_mu_;
+  std::string fail_reason_;
+  // Serializes slot installation and departure against foreign-rank scans:
+  // a scanner acquires a foreign rank's comm lock only inside scan_mu_
+  // after checking `departed`, and departure flips `departed` inside
+  // scan_mu_ *while holding its own comm lock*, so no scanner can still be
+  // inside a departing rank's communicator when its thread returns (and
+  // later destroys it).
+  std::mutex scan_mu_;
+  std::vector<std::unique_ptr<RankSlot>> storage_;
+  std::vector<std::atomic<RankSlot*>> live_;
+};
+
+void TaskArena::push_ready_items(RankSlot& my, int rank,
+                                 std::vector<KeyedTask>& items) {
+  if (items.empty()) return;
+  // Priority as a steal-order hint: sort descending so the best (smallest)
+  // key is pushed last — the owner LIFO-pops it next (depth-first along
+  // the policy's preferred path) while thieves FIFO-steal from the other
+  // end, taking the work the owner valued least.
+  std::sort(items.begin(), items.end(), std::greater<>());
+  for (const auto& [k, t] : items) my.deque.push(pack_item(rank, t));
+}
+
+/// Releases task `t` of rank q (its dependence count just hit zero).
+/// Caller holds q's comm lock. Adaptive inflow tasks post their irecv and
+/// go to the pending set; other adaptive tasks are appended to `ready` for
+/// the caller to push into its own deque (outside the lock); static tasks
+/// join q's ready queue.
+void TaskArena::release_locked(RankSlot& q, TaskId t,
+                               std::vector<KeyedTask>* ready) {
+  const TaskGraph::Task& task = q.graph.task(t);
+  if (!q.opts.adaptive) {
+    q.ready_pq.push({q.key(t), t});
+    return;
+  }
+  if (task.inflow_src >= 0) {
+    auto& buf = q.inflow_buf[static_cast<std::size_t>(t)];
+    buf.resize(task.inflow_elements);
+    q.pending_req.push_back(
+        q.comm.irecv(task.inflow_src, std::span<double>(buf),
+                     task.inflow_tag));
+    q.pending.push_back(t);
+    q.report.max_posted = std::max(q.report.max_posted, q.pending.size());
+  } else {
+    ready->push_back({q.key(t), t});
+  }
+}
+
+SchedReport TaskArena::run(const TaskGraph& graph, Communicator& comm,
+                           const SchedOptions& opts) {
+  comm.enable_concurrent_ops();
+  const int rank = comm.rank();
+  auto owned = std::make_unique<RankSlot>(*this, graph, comm, opts);
+  RankSlot& my = *owned;
+  my.rank = rank;
+  try {
+    my.analysis = sched_internal::analyze_graph(graph, opts.policy);
+    sched_internal::check_static_safe(graph, opts);
+  } catch (const Error& e) {
+    // Peers are already (or about to be) pooled on this round: make them
+    // abort with this reason instead of idling until the poison cascade.
+    set_failed(e.what());
+    throw;
+  }
+  const std::size_t n = graph.size();
+  my.report.tasks = n;
+  my.report.edges = graph.edges();
+  my.report.policy = opts.policy;
+  my.report.adaptive = opts.adaptive;
+  my.report.backend = SchedBackend::kTasks;
+  my.deps.reset(new std::atomic<int>[n]);
+  for (std::size_t i = 0; i < n; ++i)
+    my.deps[i].store(my.analysis.deps[i], std::memory_order_relaxed);
+  my.inflow_buf.resize(n);
+  my.remaining.store(n, std::memory_order_seq_cst);
+
+  // Initial releases, before the slot is visible to anyone else.
+  std::vector<KeyedTask> ready0;
+  {
+    auto l = comm.lock_ops();
+    for (std::size_t i = 0; i < n; ++i)
+      if (my.analysis.deps[i] == 0)
+        release_locked(my, static_cast<TaskId>(i), &ready0);
+  }
+  {
+    std::lock_guard<std::mutex> sl(scan_mu_);
+    storage_[static_cast<std::size_t>(rank)] = std::move(owned);
+    live_[static_cast<std::size_t>(rank)].store(&my,
+                                                std::memory_order_release);
+  }
+  push_ready_items(my, rank, ready0);
+  registered_.fetch_add(1, std::memory_order_seq_cst);
+  bump();
+
+  try {
+    worker_loop(my);
+    depart(my);
+  } catch (const SchedError&) {
+    throw;  // every SchedError path above already set the failure flag
+  } catch (const Error& e) {
+    set_failed(std::string("tasks backend aborted: ") + e.what());
+    throw;
+  } catch (const std::exception& e) {
+    set_failed(std::string("tasks backend aborted: ") + e.what());
+    throw;
+  }
+  return my.report;
+}
+
+void TaskArena::worker_loop(RankSlot& my) {
+  std::int64_t item = 0;
+  for (;;) {
+    check_aborted(my);
+    if (my.opts.adaptive) {
+      // Own deque first: freshest task, hottest cache.
+      if (my.deque.pop(item)) {
+        run_item(my, item);
+        continue;
+      }
+    } else {
+      if (run_stream(my, my.rank)) continue;
+    }
+    if (my.remaining.load(std::memory_order_seq_cst) == 0) break;
+    if (find_work(my)) continue;
+    idle_wait(my);
+  }
+}
+
+bool TaskArena::find_work(RankSlot& my) {
+  if (my.opts.adaptive) {
+    // Own promotions first (task affinity), then steals, then assisting
+    // another rank's promotions.
+    RankSlot* mine = live_[static_cast<std::size_t>(my.rank)].load(
+        std::memory_order_acquire);
+    if (mine && promote(my, *mine)) return true;
+    std::int64_t item = 0;
+    for (int off = 1; off < nranks_; ++off) {
+      const auto r = static_cast<std::size_t>((my.rank + off) % nranks_);
+      RankSlot* s = live_[r].load(std::memory_order_acquire);
+      if (s && s->deque.steal(item)) {
+        run_item(my, item);
+        return true;
+      }
+    }
+    for (int off = 1; off < nranks_; ++off)
+      if (assist(my, (my.rank + off) % nranks_)) return true;
+    return false;
+  }
+  for (int off = 1; off < nranks_; ++off)
+    if (run_stream(my, (my.rank + off) % nranks_)) return true;
+  return false;
+}
+
+bool TaskArena::promote(RankSlot& my, RankSlot& q) {
+  // Own rank only (q cannot depart under us — we *are* its thread).
+  auto l = q.comm.try_lock_ops();
+  if (!l.owns_lock()) return false;
+  std::vector<KeyedTask> got;
+  drain_arrived(q, got);
+  l.unlock();
+  if (got.empty()) return false;
+  push_ready_items(my, q.rank, got);
+  bump();
+  return true;
+}
+
+bool TaskArena::assist(RankSlot& my, int r) {
+  RankSlot* q = nullptr;
+  std::unique_lock<std::recursive_mutex> held;
+  {
+    // The scan_mu_ window guarantees q cannot depart (and its thread
+    // destroy the Communicator) between the departed check and our lock
+    // acquisition; once we hold q's comm lock, departure waits for us.
+    std::lock_guard<std::mutex> sl(scan_mu_);
+    q = live_[static_cast<std::size_t>(r)].load(std::memory_order_acquire);
+    if (!q || q->departed.load(std::memory_order_acquire)) return false;
+    held = q->comm.try_lock_ops();
+    if (!held.owns_lock()) return false;
+  }
+  std::vector<KeyedTask> got;
+  drain_arrived(*q, got);
+  held.unlock();
+  if (got.empty()) return false;
+  // The promoted tasks go into *my* deque (Chase–Lev push is owner-only);
+  // q's worker can steal them back, and usually this worker — idle, or it
+  // would not be assisting — just runs them.
+  push_ready_items(my, q->rank, got);
+  bump();
+  return true;
+}
+
+/// Moves every arrived pending inflow of q into `got` (consuming the
+/// requests). Caller holds q's comm lock.
+void TaskArena::drain_arrived(RankSlot& q, std::vector<KeyedTask>& got) {
+  for (std::size_t i = 0; i < q.pending.size();) {
+    if (q.comm.arrived(q.pending_req[i])) {
+      // Non-blocking here (the message physically arrived); unlike test()
+      // this accepts a future-stamped message, charging the stall now —
+      // adaptive runs are probe-class, values stay exact.
+      q.comm.wait(q.pending_req[i]);
+      got.push_back({q.key(q.pending[i]), q.pending[i]});
+      q.pending.erase(q.pending.begin() + static_cast<std::ptrdiff_t>(i));
+      q.pending_req.erase(q.pending_req.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+bool TaskArena::run_stream(RankSlot& my, int r) {
+  RankSlot* q = nullptr;
+  std::unique_lock<std::recursive_mutex> l;
+  if (r == my.rank) {
+    q = live_[static_cast<std::size_t>(r)].load(std::memory_order_acquire);
+    if (!q) return false;
+    l = q->comm.try_lock_ops();
+    if (!l.owns_lock()) return false;
+  } else {
+    std::lock_guard<std::mutex> sl(scan_mu_);
+    q = live_[static_cast<std::size_t>(r)].load(std::memory_order_acquire);
+    if (!q || q->departed.load(std::memory_order_acquire)) return false;
+    l = q->comm.try_lock_ops();
+    if (!l.owns_lock()) return false;
+  }
+  if (q->ready_pq.empty()) return false;
+  const TaskId t = q->ready_pq.top().second;
+  q->ready_pq.pop();
+  // The lock is held across the whole task (recursive, so the task's own
+  // comm calls nest): this rank's operation sequence is exactly the SPMD
+  // static executor's, which is what makes static-mode vtimes, stats,
+  // phases and traces byte-identical to the oracle.
+  run_static_task(*q, t);
+  if (r != my.rank) q->steals.fetch_add(1, std::memory_order_relaxed);
+  l.unlock();
+  q->remaining.fetch_sub(1, std::memory_order_seq_cst);
+  bump();
+  return true;
+}
+
+void TaskArena::run_static_task(RankSlot& q, TaskId t) {
+  const TaskGraph::Task& task = q.graph.task(t);
+  auto& buf = q.inflow_buf[static_cast<std::size_t>(t)];
+  const double t0 = q.comm.vtime();
+  if (task.inflow_src >= 0) {
+    buf.resize(task.inflow_elements);
+    Request r = q.comm.irecv(task.inflow_src, std::span<double>(buf),
+                             task.inflow_tag);
+    ++q.report.blocked_waits;
+    q.comm.set_wait_context("task '" + task.label + "'");
+    try {
+      q.comm.wait(r);
+    } catch (const EngineError& e) {
+      fail_stuck(q, t, e);
+    } catch (const CommError& e) {
+      fail_stuck(q, t, e);
+    }
+    q.comm.set_wait_context("");
+  }
+  {
+    TaskContext ctx(q.comm, q);
+    ctx.inflow = std::span<const double>(buf);
+    if (task.run) task.run(ctx);
+  }
+  q.comm.tracer().record(TraceEventType::kTask, t0, q.comm.vtime(),
+                         task.inflow_src, static_cast<int>(t),
+                         static_cast<std::uint64_t>(task.cost));
+  std::vector<double>().swap(buf);
+  for (const TaskId s : q.graph.successors(t))
+    if (q.deps[static_cast<std::size_t>(s)].fetch_sub(
+            1, std::memory_order_seq_cst) == 1)
+      release_locked(q, s, nullptr);
+}
+
+void TaskArena::run_item(RankSlot& my, std::int64_t v) {
+  const int r = item_rank(v);
+  RankSlot* qp =
+      live_[static_cast<std::size_t>(r)].load(std::memory_order_acquire);
+  internal_check(qp != nullptr, "task item for an uninstalled rank");
+  RankSlot& q = *qp;
+  const TaskId t = item_task(v);
+  const TaskGraph::Task& task = q.graph.task(t);
+  auto& buf = q.inflow_buf[static_cast<std::size_t>(t)];
+  double t0 = 0.0;
+  {
+    auto l = q.comm.lock_ops();
+    t0 = q.comm.vtime();
+  }
+  {
+    // The body runs unlocked — this is the real-parallelism window. Its
+    // comm calls (TaskContext::send, compute, ...) self-lock.
+    TaskContext ctx(q.comm, q);
+    ctx.inflow = std::span<const double>(buf);
+    if (task.run) task.run(ctx);
+  }
+  {
+    auto l = q.comm.lock_ops();
+    q.comm.tracer().record(TraceEventType::kTask, t0, q.comm.vtime(),
+                           task.inflow_src, static_cast<int>(t),
+                           static_cast<std::uint64_t>(task.cost));
+  }
+  std::vector<double>().swap(buf);
+  finish_task(my, q, t);
+}
+
+void TaskArena::finish_task(RankSlot& my, RankSlot& q, TaskId t) {
+  if (q.rank != my.rank) q.steals.fetch_add(1, std::memory_order_relaxed);
+  // Atomic dependence-count decrements; exactly one decrementer observes
+  // the count hit zero and owns the release of that successor.
+  std::vector<TaskId> zeros;
+  for (const TaskId s : q.graph.successors(t))
+    if (q.deps[static_cast<std::size_t>(s)].fetch_sub(
+            1, std::memory_order_seq_cst) == 1)
+      zeros.push_back(s);
+  if (!zeros.empty()) {
+    std::vector<KeyedTask> ready;
+    {
+      auto l = q.comm.lock_ops();
+      for (const TaskId s : zeros) release_locked(q, s, &ready);
+    }
+    push_ready_items(my, q.rank, ready);
+  }
+  // Decrement `remaining` last: it is the departure gate, so every touch of
+  // q's communicator on this completion path happens while departure is
+  // still excluded.
+  q.remaining.fetch_sub(1, std::memory_order_seq_cst);
+  bump();
+}
+
+bool TaskArena::work_visible(RankSlot& my) {
+  // Deque peeks are lock-free.
+  for (int r = 0; r < nranks_; ++r) {
+    RankSlot* s =
+        live_[static_cast<std::size_t>(r)].load(std::memory_order_acquire);
+    if (s && !s->deque.empty()) return true;
+  }
+  std::lock_guard<std::mutex> sl(scan_mu_);
+  for (int r = 0; r < nranks_; ++r) {
+    RankSlot* s =
+        live_[static_cast<std::size_t>(r)].load(std::memory_order_acquire);
+    if (!s || s->departed.load(std::memory_order_acquire)) continue;
+    auto l = s->comm.try_lock_ops();
+    if (!l.owns_lock()) continue;  // the holder will bump() when done
+    if (my.opts.adaptive) {
+      for (const Request& req : s->pending_req)
+        if (s->comm.arrived(req)) return true;
+    } else {
+      if (!s->ready_pq.empty()) return true;
+    }
+  }
+  return false;
+}
+
+void TaskArena::idle_wait(RankSlot& my) {
+  // PoolSignal consumer protocol: register as idler (seq_cst — pairs with
+  // the fence in PoolSignal::notify), take the ticket, re-check, park.
+  signal_.idlers.fetch_add(1, std::memory_order_seq_cst);
+  const std::uint32_t ticket = signal_.parker.prepare();
+  bool skip = aborted(my) ||
+              my.remaining.load(std::memory_order_seq_cst) == 0 ||
+              work_visible(my);
+  if (!skip && maybe_declare_deadlock(my)) skip = true;
+  if (!skip) signal_.parker.park(ticket);
+  signal_.idlers.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+bool TaskArena::maybe_declare_deadlock(RankSlot& my) {
+  // Only meaningful once every rank is pooled (a not-yet-registered rank
+  // will bump the epoch and notify when it arrives) and every live worker
+  // is idle. Called with this worker already registered as an idler.
+  if (registered_.load(std::memory_order_seq_cst) != nranks_) return false;
+  const int live =
+      nranks_ - departed_n_.load(std::memory_order_seq_cst);
+  if (signal_.idlers.load(std::memory_order_seq_cst) != live) return false;
+  const std::uint64_t e0 = epoch_.load(std::memory_order_seq_cst);
+
+  std::ostringstream stuck;
+  std::size_t left = 0;
+  bool any_stuck = false;
+  {
+    std::lock_guard<std::mutex> sl(scan_mu_);
+    for (int r = 0; r < nranks_; ++r) {
+      RankSlot* s =
+          live_[static_cast<std::size_t>(r)].load(std::memory_order_acquire);
+      if (!s) return false;
+      if (s->departed.load(std::memory_order_acquire)) continue;
+      if (!s->deque.empty()) return false;
+      auto l = s->comm.try_lock_ops();
+      if (!l.owns_lock()) return false;  // someone is mid-operation
+      if (s->opts.adaptive) {
+        for (std::size_t i = 0; i < s->pending.size(); ++i) {
+          if (s->comm.arrived(s->pending_req[i])) return false;
+          const TaskGraph::Task& task = s->graph.task(s->pending[i]);
+          stuck << (any_stuck ? ", " : "") << "task '" << task.label
+                << "' (inflow src=" << task.inflow_src
+                << " tag=" << task.inflow_tag << ") on rank " << r;
+          any_stuck = true;
+        }
+      } else {
+        if (!s->ready_pq.empty()) return false;
+      }
+      left += s->remaining.load(std::memory_order_seq_cst);
+    }
+  }
+  if (left == 0) return false;
+  // Confirm nothing moved while we scanned: any claim/completion bumps the
+  // epoch, and any worker that left idleness changes the idler count.
+  if (epoch_.load(std::memory_order_seq_cst) != e0) return false;
+  if (signal_.idlers.load(std::memory_order_seq_cst) != live) return false;
+
+  std::ostringstream os;
+  os << "scheduler deadlock (tasks backend): all workers idle with " << left
+     << " task(s) unfinished";
+  if (any_stuck) os << "; stuck on " << stuck.str();
+  set_failed(os.str());
+  return true;
+}
+
+void TaskArena::depart(RankSlot& my) {
+  {
+    // Settle outflow sends exactly as the SPMD backend's endgame does (in
+    // posting order — deterministic phase accounting).
+    auto l = my.comm.lock_ops();
+    try {
+      my.comm.wait_all(std::span<Request>(my.sends));
+    } catch (const EngineError& e) {
+      const std::string msg = "scheduler deadlock on rank " +
+                              std::to_string(my.comm.rank()) +
+                              " while draining task sends; " +
+                              std::string(e.what());
+      set_failed(msg);
+      throw SchedError(msg);
+    }
+  }
+  {
+    // Flip `departed` while holding both scan_mu_ and the comm lock: any
+    // scanner that got past the departed check is out of the communicator
+    // before this thread returns and the Communicator dies with its frame.
+    std::lock_guard<std::mutex> sl(scan_mu_);
+    auto l = my.comm.lock_ops();
+    my.departed.store(true, std::memory_order_release);
+  }
+  departed_n_.fetch_add(1, std::memory_order_seq_cst);
+  bump();
+}
+
+// ---- machine-level rendezvous ---------------------------------------------
+
+namespace {
+
+/// Lives in the Machine's extension slot: matches each rank's Nth
+/// run_graph_tasks call to round N, so collective rounds line up without
+/// sched/ types leaking into comm/. Rounds are GC'd once fully departed
+/// (shared_ptr keeps a straggler's arena alive regardless).
+struct PoolHost {
+  std::vector<std::uint64_t> next_round;  // per rank
+  std::map<std::uint64_t, std::shared_ptr<TaskArena>> rounds;
+};
+
+std::shared_ptr<TaskArena> join_round(Machine& m, int rank) {
+  std::lock_guard<std::mutex> l(m.extension_mutex());
+  auto host = std::static_pointer_cast<PoolHost>(m.extension());
+  if (!host) {
+    host = std::make_shared<PoolHost>();
+    m.extension() = host;
+  }
+  if (host->next_round.size() < static_cast<std::size_t>(m.size()))
+    host->next_round.resize(static_cast<std::size_t>(m.size()), 0);
+  const std::uint64_t round =
+      host->next_round[static_cast<std::size_t>(rank)]++;
+  auto& arena = host->rounds[round];
+  if (!arena) arena = std::make_shared<TaskArena>(m.size(), m.pool_signal());
+  for (auto it = host->rounds.begin(); it != host->rounds.end();)
+    it = (it->first != round && it->second->all_departed())
+             ? host->rounds.erase(it)
+             : std::next(it);
+  return arena;
+}
+
+}  // namespace
+
+SchedReport run_graph_tasks(const TaskGraph& graph, Communicator& comm,
+                            const SchedOptions& opts) {
+  std::shared_ptr<TaskArena> arena =
+      join_round(comm.machine(), comm.rank());
+  return arena->run(graph, comm, opts);
+}
+
+}  // namespace wavepipe

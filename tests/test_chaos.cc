@@ -14,6 +14,7 @@
 #include "apps/sweep3d.hh"
 #include "apps/tomcatv.hh"
 #include "array/io.hh"
+#include "comm/machine.hh"
 #include "exec/pipelined.hh"
 #include "model/machines.hh"
 #include "testing/chaos.hh"
@@ -418,6 +419,60 @@ TEST(Faults, ScheduledAltSweepByteIdenticalUnderChaos) {
       SCOPED_TRACE("static p=" + std::to_string(p) + " seed=" +
                    std::to_string(seed));
       expect_identical(sbase, run_under(p, cm, opts, fifo));
+    }
+  }
+}
+
+TEST(Faults, TasksBackendValuesMatchChaosOracle) {
+  // The work-stealing tasks backend runs only on the parallel engine, which
+  // has no fault interceptor, so its schedule-independence is checked from
+  // the other side: one plain parallel+tasks run fixes the values, and the
+  // fiber oracle must reproduce them under random schedules x fault plans.
+  // That places the tasks backend's answers inside the same
+  // schedule-independent equivalence class as every chaotic fiber run.
+  const CostModel cm = t3e_like().costs;
+  AltSweepConfig cfg;
+  cfg.n = 32;
+  cfg.iterations = 2;
+  WaveOptions wopts;
+  wopts.block = 8;
+  wopts.overlap = true;
+  for (int p : {2, 4}) {
+    SCOPED_TRACE("p=" + std::to_string(p));
+    const ProcGrid<2> grid = ProcGrid<2>::along_dim(p, 0);
+    const auto body_with = [&](const SchedOptions& so) {
+      return [&, so](Communicator& comm, std::vector<double>& extracted) {
+        AltSweep app(cfg, grid, comm.rank());
+        app.iterate_scheduled(comm, cfg.iterations, wopts, so);
+        const Real r = app.residual_norm(comm);
+        const Real cs = app.checksum(comm);
+        if (comm.rank() == 0) {
+          extracted.push_back(r);
+          extracted.push_back(cs);
+        }
+      };
+    };
+
+    std::vector<double> tasks_vals;
+    {
+      SchedOptions so;
+      so.backend = SchedBackend::kTasks;
+      EngineConfig ec;
+      ec.kind = EngineKind::kParallel;
+      Machine m(p, cm, TraceConfig{}, ec);
+      auto fn = body_with(so);
+      m.run([&](Communicator& comm) { fn(comm, tasks_vals); });
+    }
+    ASSERT_EQ(tasks_vals.size(), 2u);
+
+    for (std::uint64_t seed : {11u, 12u, 13u}) {
+      ChaosOptions opts;
+      opts.random_sched = true;
+      opts.sched_seed = seed;
+      opts.faults = FaultPlan::from_seed(seed * 17, p);
+      SCOPED_TRACE("seed=" + std::to_string(seed));
+      EXPECT_EQ(run_under(p, cm, opts, body_with(SchedOptions{})).extracted,
+                tasks_vals);
     }
   }
 }

@@ -20,11 +20,14 @@
 #include <thread>
 #include <vector>
 
+#include "apps/alt_sweep.hh"
 #include "apps/suite.hh"
 #include "apps/sweep3d.hh"
 #include "comm/machine.hh"
 #include "comm/spsc.hh"
 #include "sched/executor.hh"
+#include "sched/graph.hh"
+#include "sched/parallel_executor.hh"
 #include "support/error.hh"
 
 namespace wavepipe {
@@ -396,6 +399,362 @@ TEST(ParallelSuite, ScheduledSweepMatchesFiberOracle) {
       run_one(EngineKind::kParallel, /*adaptive=*/true, pa_flux);
       EXPECT_EQ(fi_flux, pa_flux);  // values only: adaptive is probe-class
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SpscQueue::pop_batch — the batched consumer claim behind drain_channels.
+
+TEST(Spsc, PopBatchFifoPartialAndEmpty) {
+  SpscQueue<int> q;
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 8), 0u);
+  EXPECT_TRUE(out.empty());
+  for (int i = 0; i < 10; ++i) q.push(i);
+  EXPECT_EQ(q.pop_batch(out, 4), 4u);  // full batch
+  EXPECT_EQ(q.pop_batch(out, 100), 6u);  // short batch: queue ran dry
+  ASSERT_EQ(out.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+  EXPECT_TRUE(q.peek_empty());
+  // The queue keeps working after a drain (the dummy-head swap is sound).
+  q.push(42);
+  out.clear();
+  EXPECT_EQ(q.pop_batch(out, 1), 1u);
+  EXPECT_EQ(out[0], 42);
+}
+
+TEST(Spsc, PopBatchTwoThreadMillionMessageTorture) {
+  // Same contract as the single-pop torture: strict FIFO, nothing lost,
+  // nothing duplicated — now with the consumer claiming odd-sized batches
+  // so batch boundaries land at every phase of the producer's progress.
+  SpscQueue<std::uint64_t> q;
+  constexpr std::uint64_t kCount = 1000000;
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kCount; ++i) q.push(i);
+  });
+  std::uint64_t expect = 0;
+  std::vector<std::uint64_t> batch;
+  while (expect < kCount) {
+    batch.clear();
+    const std::size_t n = q.pop_batch(batch, 7);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(batch[i], expect) << "FIFO violated";
+      ++expect;
+    }
+    if (n == 0) std::this_thread::yield();
+  }
+  producer.join();
+  EXPECT_TRUE(q.peek_empty());
+}
+
+TEST(ParallelEngine, PoisonAfterBurstDeliversMessagesThenTypedError) {
+  // "Poison mid-batch": the sender deposits a burst larger than the
+  // consumer's drain batch (kDrainBatch = 32) and then dies. Completion
+  // wins over poison, so every already-deposited message must still be
+  // received in FIFO order across multiple batched drains, and only the
+  // recv that can never complete reports the teardown.
+  constexpr int kBurst = 100;
+  Machine m(2, {}, TraceConfig{}, engine(EngineKind::kParallel));
+  int got = 0;
+  try {
+    m.run([&](Communicator& comm) {
+      if (comm.rank() == 0) {
+        for (int i = 0; i < kBurst; ++i) comm.send_value(1, i);
+        throw CommError("rank 0 dies after the burst");
+      }
+      for (int i = 0; i < kBurst; ++i) {
+        EXPECT_EQ(comm.recv_value<int>(0), i);
+        ++got;
+      }
+      (void)comm.recv_value<int>(0);  // never sent: must surface the poison
+      FAIL() << "recv past the burst returned";
+    });
+    FAIL() << "poisoned run returned";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).size(), 0u);
+  }
+  EXPECT_EQ(got, kBurst);
+}
+
+// ---------------------------------------------------------------------------
+// WorkStealingDeque — the tasks backend's per-worker ready queue.
+
+TEST(Deque, OwnerLifoThiefFifoAndSingleItemRace) {
+  WorkStealingDeque d;
+  std::int64_t v = 0;
+  EXPECT_TRUE(d.empty());
+  EXPECT_FALSE(d.pop(v));
+  EXPECT_FALSE(d.steal(v));
+  for (std::int64_t i = 0; i < 4; ++i) d.push(i);
+  EXPECT_FALSE(d.empty());
+  ASSERT_TRUE(d.pop(v));
+  EXPECT_EQ(v, 3);  // owner pops LIFO
+  ASSERT_TRUE(d.steal(v));
+  EXPECT_EQ(v, 0);  // thieves steal FIFO
+  ASSERT_TRUE(d.steal(v));
+  EXPECT_EQ(v, 1);
+  ASSERT_TRUE(d.pop(v));
+  EXPECT_EQ(v, 2);  // the single-item case goes through the CAS race path
+  EXPECT_TRUE(d.empty());
+  EXPECT_FALSE(d.pop(v));
+}
+
+TEST(Deque, GrowthPreservesEveryItem) {
+  // Push far past the initial capacity (64) with no pops: grow() must
+  // carry every element and steals must still drain in FIFO order.
+  WorkStealingDeque d;
+  constexpr std::int64_t kN = 10000;
+  for (std::int64_t i = 0; i < kN; ++i) d.push(i);
+  std::int64_t v = 0;
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(d.steal(v));
+    ASSERT_EQ(v, i);
+  }
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(Deque, MultiThiefTortureClaimsEveryItemExactlyOnce) {
+  // One owner interleaving pushes and pops with three thieves. Every item
+  // must be claimed exactly once across all four threads. This is the TSan
+  // pass over the deque: CI reruns this binary under -fsanitize=thread.
+  constexpr std::int64_t kItems = 200000;
+  constexpr int kThieves = 3;
+  WorkStealingDeque d;
+  std::vector<std::atomic<int>> claimed(static_cast<std::size_t>(kItems));
+  for (auto& c : claimed) c.store(0, std::memory_order_relaxed);
+  std::atomic<bool> done{false};
+  std::atomic<std::int64_t> total{0};
+
+  auto claim = [&](std::int64_t v) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, kItems);
+    EXPECT_EQ(
+        claimed[static_cast<std::size_t>(v)].fetch_add(
+            1, std::memory_order_relaxed),
+        0)
+        << "item " << v << " claimed twice";
+    total.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      std::int64_t v = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        if (d.steal(v)) claim(v);
+      }
+      while (d.steal(v)) claim(v);  // final sweep after the owner stops
+    });
+  }
+  std::int64_t v = 0;
+  for (std::int64_t i = 0; i < kItems; ++i) {
+    d.push(i);
+    // Pop in bursts so the bottom oscillates against concurrent steals,
+    // exercising the single-item CAS race from both sides.
+    if ((i & 7) == 0 && d.pop(v)) claim(v);
+  }
+  while (d.pop(v)) claim(v);
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+  EXPECT_EQ(total.load(), kItems);
+  EXPECT_TRUE(d.empty());
+}
+
+// ---------------------------------------------------------------------------
+// The work-stealing tasks backend (WAVEPIPE_SCHED_BACKEND=tasks).
+
+TEST(TasksBackend, RefusesNonParallelEngineWithTypedError) {
+  // The authoritative gate sits on the machine that actually runs — no
+  // silent SPMD fallback, and the error names the valid combinations.
+  Machine m(2, {}, TraceConfig{}, engine(EngineKind::kFibers));
+  try {
+    m.run([&](Communicator& comm) {
+      TaskGraph g;
+      g.add({.label = "t"});
+      SchedOptions so;
+      so.backend = SchedBackend::kTasks;
+      run_graph(g, comm, so);
+    });
+    FAIL() << "tasks backend ran on the fiber engine";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("parallel engine"), std::string::npos) << what;
+    EXPECT_NE(what.find("Valid combinations"), std::string::npos) << what;
+  }
+}
+
+TEST(TasksBackend, HandGraphCrossRankInflowAndReport) {
+  // Two ranks, explicit graph: rank 0 computes a payload and sends it;
+  // rank 1's consumer task declares it as inflow. Exercises release,
+  // promotion via arrived(), TaskContext::send through the per-rank sink,
+  // and the send-settlement at departure.
+  Machine m(2, {}, TraceConfig{}, engine(EngineKind::kParallel));
+  std::atomic<int> ran{0};
+  std::vector<double> seen(3, 0.0);
+  SchedReport reps[2];
+  m.run([&](Communicator& comm) {
+    TaskGraph g;
+    SchedOptions so;
+    so.backend = SchedBackend::kTasks;
+    if (comm.rank() == 0) {
+      const TaskId a = g.add({.label = "produce",
+                              .cost = 4.0,
+                              .run = [&](TaskContext& ctx) {
+                                ctx.comm.compute(4.0);
+                                const double payload[3] = {1.5, 2.5, 3.5};
+                                ctx.send(1, payload, 77);
+                                ran.fetch_add(1);
+                              }});
+      const TaskId b = g.add({.label = "after",
+                              .run = [&](TaskContext&) { ran.fetch_add(1); }});
+      g.add_edge(a, b);
+    } else {
+      g.add({.label = "consume",
+             .inflow_src = 0,
+             .inflow_tag = 77,
+             .inflow_elements = 3,
+             .run = [&](TaskContext& ctx) {
+               ASSERT_EQ(ctx.inflow.size(), 3u);
+               std::copy(ctx.inflow.begin(), ctx.inflow.end(), seen.begin());
+               ran.fetch_add(1);
+             }});
+    }
+    reps[comm.rank()] = run_graph(g, comm, so);
+  });
+  EXPECT_EQ(ran.load(), 3);
+  EXPECT_EQ(seen, (std::vector<double>{1.5, 2.5, 3.5}));
+  EXPECT_EQ(reps[0].backend, SchedBackend::kTasks);
+  EXPECT_EQ(reps[1].backend, SchedBackend::kTasks);
+  EXPECT_EQ(reps[0].tasks, 2u);
+  EXPECT_EQ(reps[1].tasks, 1u);
+  EXPECT_EQ(reps[1].max_posted, 1u);
+}
+
+TEST(TasksBackend, ScheduledSweep3dValuesMatchFiberOracle) {
+  // The headline identity: the tasks backend computes byte-identical flux
+  // to the fiber oracle's SPMD walk at p in {2, 4, 8}, adaptive mode.
+  Sweep3dConfig cfg;
+  cfg.n = 12;
+  cfg.iterations = 1;
+  WaveOptions wopts;
+  wopts.block = 3;
+  for (int p : {2, 4, 8}) {
+    SCOPED_TRACE("p=" + std::to_string(p));
+    const ProcGrid<3> grid = ProcGrid<3>::along_dim(p, 0);
+    auto run_one = [&](EngineKind kind, SchedBackend backend, double& flux) {
+      SchedOptions so;
+      so.backend = backend;
+      Machine m(p, {}, TraceConfig{}, engine(kind));
+      return m.run([&](Communicator& comm) {
+        const Real v = sweep3d_spmd_scheduled(comm, cfg, grid, wopts, so);
+        if (comm.rank() == 0) flux = v;
+      });
+    };
+    double fi_flux = 0.0, tk_flux = 0.0;
+    run_one(EngineKind::kFibers, SchedBackend::kSpmd, fi_flux);
+    run_one(EngineKind::kParallel, SchedBackend::kTasks, tk_flux);
+    EXPECT_EQ(fi_flux, tk_flux);
+  }
+}
+
+TEST(TasksBackend, ScheduledAltSweepValuesMatchFiberOracle) {
+  AltSweepConfig cfg;
+  cfg.n = 32;
+  cfg.iterations = 2;
+  WaveOptions wopts;
+  wopts.block = 8;
+  wopts.overlap = true;
+  for (int p : {2, 4, 8}) {
+    SCOPED_TRACE("p=" + std::to_string(p));
+    const ProcGrid<2> grid = ProcGrid<2>::along_dim(p, 0);
+    auto run_one = [&](EngineKind kind, SchedBackend backend, double& res,
+                       double& cs) {
+      SchedOptions so;
+      so.backend = backend;
+      Machine m(p, {}, TraceConfig{}, engine(kind));
+      m.run([&](Communicator& comm) {
+        AltSweep app(cfg, grid, comm.rank());
+        app.iterate_scheduled(comm, cfg.iterations, wopts, so);
+        const Real r = app.residual_norm(comm);
+        const Real c = app.checksum(comm);
+        if (comm.rank() == 0) {
+          res = r;
+          cs = c;
+        }
+      });
+    };
+    double fi_res = 0.0, fi_cs = 0.0, tk_res = 0.0, tk_cs = 0.0;
+    run_one(EngineKind::kFibers, SchedBackend::kSpmd, fi_res, fi_cs);
+    run_one(EngineKind::kParallel, SchedBackend::kTasks, tk_res, tk_cs);
+    EXPECT_EQ(fi_res, tk_res);
+    EXPECT_EQ(fi_cs, tk_cs);
+  }
+}
+
+TEST(TasksBackend, StaticFifoFullRunResultMatchesFiberOracle) {
+  // Static FIFO holds the rank's operation lock across whole tasks and
+  // picks arrival-blind, replaying the SPMD backend's per-rank operation
+  // sequence exactly: the *entire* RunResult must match the fiber oracle,
+  // not just the values.
+  Sweep3dConfig cfg;
+  cfg.n = 12;
+  cfg.iterations = 1;
+  WaveOptions wopts;
+  wopts.block = 3;
+  for (int p : {2, 4}) {
+    SCOPED_TRACE("p=" + std::to_string(p));
+    const ProcGrid<3> grid = ProcGrid<3>::along_dim(p, 0);
+    auto run_one = [&](EngineKind kind, SchedBackend backend, double& flux) {
+      SchedOptions so;
+      so.policy = SchedPolicy::kFifo;
+      so.adaptive = false;
+      so.backend = backend;
+      Machine m(p, {}, TraceConfig{}, engine(kind));
+      return m.run([&](Communicator& comm) {
+        const Real v = sweep3d_spmd_scheduled(comm, cfg, grid, wopts, so);
+        if (comm.rank() == 0) flux = v;
+      });
+    };
+    double fi_flux = 0.0, tk_flux = 0.0;
+    const RunResult fi =
+        run_one(EngineKind::kFibers, SchedBackend::kSpmd, fi_flux);
+    const RunResult tk =
+        run_one(EngineKind::kParallel, SchedBackend::kTasks, tk_flux);
+    EXPECT_EQ(fi_flux, tk_flux);
+    EXPECT_EQ(fi.vtime, tk.vtime);
+    EXPECT_EQ(fi.vtime_max, tk.vtime_max);
+    EXPECT_EQ(fi.total, tk.total);
+    ASSERT_EQ(fi.stats.size(), tk.stats.size());
+    for (std::size_t r = 0; r < fi.stats.size(); ++r)
+      EXPECT_EQ(fi.stats[r], tk.stats[r]) << "stats rank " << r;
+  }
+}
+
+TEST(TasksBackend, DeadlockNamesTheStuckTask) {
+  // Rank 0's only task consumes a message rank 1 never sends. Rank 1's
+  // worker departs; rank 0's worker goes idle with a pending inflow that
+  // can never arrive — the pool's last-idle detector must convert that
+  // into a SchedError naming the stuck task, not a hang.
+  Machine m(2, {}, TraceConfig{}, engine(EngineKind::kParallel));
+  try {
+    m.run([&](Communicator& comm) {
+      TaskGraph g;
+      if (comm.rank() == 0)
+        g.add({.label = "lonely-consumer",
+               .inflow_src = 1,
+               .inflow_tag = 99,
+               .inflow_elements = 1});
+      SchedOptions so;
+      so.backend = SchedBackend::kTasks;
+      run_graph(g, comm, so);
+      if (comm.rank() == 0) FAIL() << "starved graph completed";
+    });
+    FAIL() << "deadlocked run returned";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("deadlock"), std::string::npos) << what;
+    EXPECT_NE(what.find("lonely-consumer"), std::string::npos) << what;
   }
 }
 

@@ -246,6 +246,52 @@ TEST(SchedOptionsEnv, ParsesUnsafeStaticOptIn) {
   EXPECT_THROW(SchedOptions::from_env(), ConfigError);
 }
 
+TEST(SchedOptionsEnv, ParsesBackendSelection) {
+  EnvGuard backend("WAVEPIPE_SCHED_BACKEND");
+  EnvGuard eng("WAVEPIPE_ENGINE");
+  ::unsetenv("WAVEPIPE_SCHED_BACKEND");
+  ::unsetenv("WAVEPIPE_ENGINE");
+  EXPECT_EQ(SchedOptions::from_env().backend, SchedBackend::kSpmd);
+  ::setenv("WAVEPIPE_SCHED_BACKEND", "spmd", 1);
+  EXPECT_EQ(SchedOptions::from_env().backend, SchedBackend::kSpmd);
+  ::setenv("WAVEPIPE_SCHED_BACKEND", "tasks", 1);
+  EXPECT_EQ(SchedOptions::from_env().backend, SchedBackend::kTasks);
+  ::setenv("WAVEPIPE_SCHED_BACKEND", "threads", 1);
+  EXPECT_THROW(SchedOptions::from_env(), ConfigError);
+}
+
+TEST(SchedOptionsEnv, TasksBackendCrossValidatesAgainstEngineEnv) {
+  // The env-vs-env conflict is caught at configuration time, before any
+  // machine exists — and the error spells out the valid combinations.
+  EnvGuard backend("WAVEPIPE_SCHED_BACKEND");
+  EnvGuard eng("WAVEPIPE_ENGINE");
+  ::setenv("WAVEPIPE_SCHED_BACKEND", "tasks", 1);
+  ::setenv("WAVEPIPE_ENGINE", "parallel", 1);
+  EXPECT_EQ(SchedOptions::from_env().backend, SchedBackend::kTasks);
+  ::unsetenv("WAVEPIPE_ENGINE");  // unset engine: resolved at machine time
+  EXPECT_EQ(SchedOptions::from_env().backend, SchedBackend::kTasks);
+  for (const char* bad : {"fibers", "threads"}) {
+    ::setenv("WAVEPIPE_ENGINE", bad, 1);
+    try {
+      SchedOptions::from_env();
+      FAIL() << "tasks backend accepted WAVEPIPE_ENGINE=" << bad;
+    } catch (const ConfigError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("Valid combinations"), std::string::npos) << what;
+      EXPECT_NE(what.find(bad), std::string::npos) << what;
+    }
+  }
+  // spmd backend composes with every engine.
+  ::setenv("WAVEPIPE_SCHED_BACKEND", "spmd", 1);
+  ::setenv("WAVEPIPE_ENGINE", "fibers", 1);
+  EXPECT_EQ(SchedOptions::from_env().backend, SchedBackend::kSpmd);
+}
+
+TEST(SchedOptionsEnv, BackendNamesRoundTrip) {
+  EXPECT_STREQ(to_string(SchedBackend::kSpmd), "spmd");
+  EXPECT_STREQ(to_string(SchedBackend::kTasks), "tasks");
+}
+
 TEST(SchedOptionsEnv, PolicyNamesRoundTrip) {
   EXPECT_STREQ(to_string(SchedPolicy::kFifo), "fifo");
   EXPECT_STREQ(to_string(SchedPolicy::kDiagonal), "diagonal");
