@@ -7,6 +7,7 @@
 #include <span>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "comm/communicator.hh"
@@ -147,6 +148,9 @@ class TaskArena {
     std::atomic<std::size_t> remaining{0};
     std::atomic<std::size_t> steals{0};
     std::atomic<bool> departed{false};
+    // Workers currently inside run_item on one of this rank's tasks — the
+    // departure quiesce gate (see run_item / quiesce for the protocol).
+    std::atomic<int> inflight{0};
 
     // Guarded by comm's operation lock.
     std::vector<TaskId> pending;        // adaptive: inflow posted, in flight
@@ -184,6 +188,8 @@ class TaskArena {
   void idle_wait(RankSlot& my);
   bool maybe_declare_deadlock(RankSlot& my);
   void depart(RankSlot& my);
+  void abandon(RankSlot& my);
+  void quiesce(RankSlot& my);
   void push_ready_items(RankSlot& my, int rank, std::vector<KeyedTask>& items);
   void release_locked(RankSlot& q, TaskId t, std::vector<KeyedTask>* ready);
 
@@ -298,34 +304,37 @@ SchedReport TaskArena::run(const TaskGraph& graph, Communicator& comm,
   auto owned = std::make_unique<RankSlot>(*this, graph, comm, opts);
   RankSlot& my = *owned;
   my.rank = rank;
+  std::vector<KeyedTask> ready0;
   try {
     my.analysis = sched_internal::analyze_graph(graph, opts.policy);
     sched_internal::check_static_safe(graph, opts);
-  } catch (const Error& e) {
-    // Peers are already (or about to be) pooled on this round: make them
-    // abort with this reason instead of idling until the poison cascade.
-    set_failed(e.what());
-    throw;
-  }
-  const std::size_t n = graph.size();
-  my.report.tasks = n;
-  my.report.edges = graph.edges();
-  my.report.policy = opts.policy;
-  my.report.adaptive = opts.adaptive;
-  my.report.backend = SchedBackend::kTasks;
-  my.deps.reset(new std::atomic<int>[n]);
-  for (std::size_t i = 0; i < n; ++i)
-    my.deps[i].store(my.analysis.deps[i], std::memory_order_relaxed);
-  my.inflow_buf.resize(n);
-  my.remaining.store(n, std::memory_order_seq_cst);
+    const std::size_t n = graph.size();
+    my.report.tasks = n;
+    my.report.edges = graph.edges();
+    my.report.policy = opts.policy;
+    my.report.adaptive = opts.adaptive;
+    my.report.backend = SchedBackend::kTasks;
+    my.deps.reset(new std::atomic<int>[n]);
+    for (std::size_t i = 0; i < n; ++i)
+      my.deps[i].store(my.analysis.deps[i], std::memory_order_relaxed);
+    my.inflow_buf.resize(n);
+    my.remaining.store(n, std::memory_order_seq_cst);
 
-  // Initial releases, before the slot is visible to anyone else.
-  std::vector<KeyedTask> ready0;
-  {
+    // Initial releases, before the slot is visible to anyone else.
     auto l = comm.lock_ops();
     for (std::size_t i = 0; i < n; ++i)
       if (my.analysis.deps[i] == 0)
         release_locked(my, static_cast<TaskId>(i), &ready0);
+  } catch (const std::exception& e) {
+    // Peers are already (or about to be) pooled on this round: make them
+    // abort with this reason instead of idling until the poison cascade.
+    set_failed(e.what());
+    // The slot was never installed, so no departure handshake is needed —
+    // but the departure must still be counted, or all_departed() would
+    // stay false and the failed round would pin its arena in PoolHost.
+    departed_n_.fetch_add(1, std::memory_order_seq_cst);
+    bump();
+    throw;
   }
   {
     std::lock_guard<std::mutex> sl(scan_mu_);
@@ -341,14 +350,23 @@ SchedReport TaskArena::run(const TaskGraph& graph, Communicator& comm,
     worker_loop(my);
     depart(my);
   } catch (const SchedError&) {
-    throw;  // every SchedError path above already set the failure flag
+    // Every SchedError path above already set the failure flag.
+    abandon(my);
+    throw;
   } catch (const Error& e) {
     set_failed(std::string("tasks backend aborted: ") + e.what());
+    abandon(my);
     throw;
   } catch (const std::exception& e) {
     set_failed(std::string("tasks backend aborted: ") + e.what());
+    abandon(my);
+    throw;
+  } catch (...) {
+    set_failed("tasks backend aborted: unknown exception from a task body");
+    abandon(my);
     throw;
   }
+  my.report.steals = my.steals.load(std::memory_order_relaxed);
   return my.report;
 }
 
@@ -523,6 +541,22 @@ void TaskArena::run_item(RankSlot& my, std::int64_t v) {
       live_[static_cast<std::size_t>(r)].load(std::memory_order_acquire);
   internal_check(qp != nullptr, "task item for an uninstalled rank");
   RankSlot& q = *qp;
+  // Entry half of the departure handshake (Dekker with quiesce()):
+  // advertise this worker inside q's communicator, then re-check
+  // `departed` — both seq_cst. Either q's departing thread sees the
+  // increment and waits it out, or this worker sees the flag and backs
+  // out before touching a Communicator whose frame is being unwound.
+  // The guard's decrement must also run when the task body throws.
+  q.inflight.fetch_add(1, std::memory_order_seq_cst);
+  struct InflightGuard {
+    std::atomic<int>& n;
+    ~InflightGuard() { n.fetch_sub(1, std::memory_order_seq_cst); }
+  } guard{q.inflight};
+  if (q.departed.load(std::memory_order_seq_cst)) {
+    // Only a failed round departs with its items still in deques.
+    check_aborted(my);
+    internal_check(false, "stolen task raced a non-failed departure");
+  }
   const TaskId t = item_task(v);
   const TaskGraph::Task& task = q.graph.task(t);
   auto& buf = q.inflow_buf[static_cast<std::size_t>(t)];
@@ -681,12 +715,48 @@ void TaskArena::depart(RankSlot& my) {
     // Flip `departed` while holding both scan_mu_ and the comm lock: any
     // scanner that got past the departed check is out of the communicator
     // before this thread returns and the Communicator dies with its frame.
+    // seq_cst: the store orders against quiesce()'s inflight read (the
+    // other half of run_item's entry handshake).
     std::lock_guard<std::mutex> sl(scan_mu_);
     auto l = my.comm.lock_ops();
-    my.departed.store(true, std::memory_order_release);
+    my.departed.store(true, std::memory_order_seq_cst);
   }
   departed_n_.fetch_add(1, std::memory_order_seq_cst);
   bump();
+  quiesce(my);
+}
+
+/// Failure-path counterpart of depart(), called before an exception
+/// leaves run(): the same handshake — flip `departed` under scan_mu_ plus
+/// the comm lock so no scanner (assist / run_stream / work_visible /
+/// maybe_declare_deadlock) is left inside this rank's Communicator, then
+/// count the departure so all_departed() can become true and the failed
+/// round gets GC'd from PoolHost — minus the send drain, which is
+/// meaningless on a failed round whose peers are aborting on failed_ or
+/// machine poison. quiesce() then waits out any worker already committed
+/// to a stolen task of this rank, so nothing can touch the Communicator
+/// this thread is about to destroy.
+void TaskArena::abandon(RankSlot& my) {
+  {
+    std::lock_guard<std::mutex> sl(scan_mu_);
+    auto l = my.comm.lock_ops();
+    my.departed.store(true, std::memory_order_seq_cst);
+  }
+  departed_n_.fetch_add(1, std::memory_order_seq_cst);
+  bump();
+  quiesce(my);
+}
+
+/// Exit half of the departure handshake (entry half in run_item): after
+/// `departed` is flipped, wait until no worker is inside run_item on one
+/// of this rank's tasks. seq_cst totality guarantees a worker either
+/// observed the flag and backed out, or its inflight increment is visible
+/// to this loop. Plain yield-spin: on the success path the window is the
+/// few instructions between a finisher's `remaining` decrement and its
+/// guard's decrement; on the failure path it is bounded by one task body.
+void TaskArena::quiesce(RankSlot& my) {
+  while (my.inflight.load(std::memory_order_seq_cst) != 0)
+    std::this_thread::yield();
 }
 
 // ---- machine-level rendezvous ---------------------------------------------

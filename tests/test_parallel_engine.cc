@@ -758,5 +758,112 @@ TEST(TasksBackend, DeadlockNamesTheStuckTask) {
   }
 }
 
+TEST(TasksBackend, CrossRankStealsReported) {
+  // Rank 1's graph is a wide fan of independent compute tasks; rank 0's
+  // single task consumes a payload rank 1 sends only after the whole fan.
+  // Rank 0's worker therefore idles with one posted inflow and nothing
+  // runnable of its own — exactly the state whose cure is stealing — and
+  // must execute some of rank 1's tasks, which each run long enough (a
+  // real sleep) that the fan cannot drain before rank 0 looks. Pins that
+  // report.steals actually surfaces the counter (it was once dropped on
+  // the floor and read 0 for every run).
+  constexpr int kFan = 48;
+  Machine m(2, {}, TraceConfig{}, engine(EngineKind::kParallel));
+  SchedReport reps[2];
+  std::atomic<int> ran{0};
+  m.run([&](Communicator& comm) {
+    TaskGraph g;
+    SchedOptions so;
+    so.backend = SchedBackend::kTasks;
+    if (comm.rank() == 1) {
+      std::vector<TaskId> fan;
+      for (int i = 0; i < kFan; ++i)
+        fan.push_back(
+            g.add({.label = "fan" + std::to_string(i),
+                   .run = [&](TaskContext& ctx) {
+                     std::this_thread::sleep_for(std::chrono::microseconds(500));
+                     ctx.comm.compute(1.0);
+                     ran.fetch_add(1);
+                   }}));
+      const TaskId fin = g.add({.label = "finale",
+                                .run = [&](TaskContext& ctx) {
+                                  const double payload[1] = {42.0};
+                                  ctx.send(0, payload, 5);
+                                }});
+      for (TaskId t : fan) g.add_edge(t, fin);
+    } else {
+      g.add({.label = "sink",
+             .inflow_src = 1,
+             .inflow_tag = 5,
+             .inflow_elements = 1,
+             .run = [&](TaskContext& ctx) { EXPECT_EQ(ctx.inflow[0], 42.0); }});
+    }
+    reps[comm.rank()] = run_graph(g, comm, so);
+  });
+  EXPECT_EQ(ran.load(), kFan);
+  // Rank 1's report counts rank 1's tasks that ran on rank 0's worker.
+  EXPECT_GT(reps[1].steals, 0u);
+}
+
+TEST(TasksBackend, TaskBodyThrowQuiescesStolenWorkBeforeTeardown) {
+  // Rank 0's graph is a wide fan plus a task that throws; rank 1 idles on
+  // an inflow rank 0 never sends, so rank 1's worker spends the round
+  // executing *stolen* rank-0 tasks. When the bomb fires, rank 0's thread
+  // unwinds and destroys its stack-resident Communicator — the failure
+  // path must run the same departure handshake as a clean depart (flip
+  // `departed`, then wait out in-flight stolen tasks), or rank 1
+  // dereferences a dead Communicator mid-task (the TSan tier catches the
+  // regression as a use-after-free). Both ranks must surface a typed
+  // error; the run must never hang.
+  constexpr int kFan = 48;
+  Machine m(2, {}, TraceConfig{}, engine(EngineKind::kParallel));
+  try {
+    m.run([&](Communicator& comm) {
+      TaskGraph g;
+      SchedOptions so;
+      so.backend = SchedBackend::kTasks;
+      // FIFO keys + bomb-first: the bomb gets the best steal-order key, so
+      // rank 0's owner LIFO-pops it while rank 1 FIFO-steals fan tasks from
+      // the other end — the throw is guaranteed to land on the rank whose
+      // tasks are being stolen, not on the thief.
+      so.policy = SchedPolicy::kFifo;
+      if (comm.rank() == 0) {
+        g.add({.label = "bomb", .run = [](TaskContext&) {
+                 std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                 throw std::runtime_error("task body exploded");
+               }});
+        for (int i = 0; i < kFan; ++i)
+          g.add({.label = "fan" + std::to_string(i),
+                 // Touch the (rank-0) communicator every few dozen
+                 // microseconds for ~2ms: a thief is virtually certain to
+                 // be inside one of these when the bomb fires.
+                 .run = [](TaskContext& ctx) {
+                   for (int k = 0; k < 40; ++k) {
+                     std::this_thread::sleep_for(std::chrono::microseconds(50));
+                     ctx.comm.compute(1.0);
+                   }
+                 }});
+      } else {
+        g.add({.label = "starved",
+               .inflow_src = 0,
+               .inflow_tag = 9,
+               .inflow_elements = 1});
+      }
+      run_graph(g, comm, so);
+      ADD_FAILURE() << "failed round returned normally on rank "
+                    << comm.rank();
+    });
+    FAIL() << "machine run with a throwing task body returned";
+  } catch (const std::exception& e) {
+    // Machine::run rethrows the first failing rank's exception: either the
+    // bomb itself or a peer's typed abort naming it.
+    const std::string what = e.what();
+    EXPECT_TRUE(what.find("exploded") != std::string::npos ||
+                what.find("aborted") != std::string::npos ||
+                what.find("failed") != std::string::npos)
+        << what;
+  }
+}
+
 }  // namespace
 }  // namespace wavepipe
