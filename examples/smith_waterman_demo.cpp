@@ -1,9 +1,19 @@
-// Smith-Waterman demo: pipelined dynamic programming. Aligns two random
-// sequences, validates against the quadratic reference, and shows the
-// wavefront plan the diagonal recurrence compiles to.
+// Smith-Waterman demo: pipelined dynamic programming on a 2D processor
+// grid. Aligns two random sequences over a pr x pc mesh (both the row and
+// the column dimension distributed — a 2D wavefront frontier with north
+// and west inflow faces per rank), validates against the quadratic
+// reference, and prints each rank's virtual-time phase breakdown.
 //
 //   ./build/examples/smith_waterman_demo [--la=200] [--lb=180] [--p=4]
+//                                        [--block=16] [--block_w=16]
+//
+// With --band=K the demo switches to the genome-scale streaming variant:
+// banded alignment of two length-n sequences (cells |i-j| <= K) holding
+// only O(band + block) elements per rank, any n.
+//
+//   ./build/examples/smith_waterman_demo --band=64 [--n=100000] [--p=4]
 #include <iostream>
+#include <vector>
 
 #include "apps/smith_waterman.hh"
 #include "model/machines.hh"
@@ -12,13 +22,84 @@
 
 using namespace wavepipe;
 
+namespace {
+
+/// pr x pc mesh when p factors into two non-trivial axes; a 1D chain
+/// (with a note) when it does not (prime p, or p == 1).
+ProcGrid<2> choose_grid(int p) {
+  try {
+    return ProcGrid<2>::factored(p, {0, 1});
+  } catch (const ConfigError&) {
+    std::cout << "(p=" << p << " has no 2D factorization; using a " << p
+              << "x1 chain)\n";
+    return ProcGrid<2>::along_dim(p, 0);
+  }
+}
+
+void add_phase_rows(Table& t, const RunResult& res) {
+  for (std::size_t r = 0; r < res.phases.size(); ++r) {
+    const PhaseBreakdown& ph = res.phases[r];
+    t.add_row({"rank " + std::to_string(r) + " comp/comm/wait",
+               fmt(ph.t_comp, 6) + " / " + fmt(ph.t_comm, 6) + " / " +
+                   fmt(ph.t_wait, 6)});
+  }
+}
+
+int run_banded(const Options& opts, int p) {
+  BandedSwConfig cfg;
+  cfg.n = opts.get_int("n", 100000);
+  cfg.band = opts.get_int("band", 64);
+  cfg.block = opts.get_int("block", 256);
+  cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 42));
+
+  std::cout << "banded Smith-Waterman, n=" << cfg.n << " band=" << cfg.band
+            << " (cells |i-j| <= band, O(band) memory per rank)\n\n";
+
+  const MachinePreset machine = t3e_like();
+  const ProcGrid<2> grid = choose_grid(p);
+
+  double score = 0.0;
+  std::vector<std::size_t> resident(static_cast<std::size_t>(p), 0);
+  const auto res = Machine::run(p, machine.costs, [&](Communicator& comm) {
+    BandedSmithWaterman app(cfg, grid, comm.rank());
+    const Real s = app.fill(comm);
+    resident[static_cast<std::size_t>(comm.rank())] = app.resident_elements();
+    if (comm.rank() == 0) score = s;
+  });
+
+  const Real expected =
+      BandedSmithWaterman(cfg, grid, 0).reference_best_score();
+  std::size_t max_resident = 0;
+  for (const std::size_t r : resident) max_resident = std::max(max_resident, r);
+
+  Table t("streaming banded fill (" + std::string(machine.name) + ", grid " +
+          grid.describe() + ", block=" + std::to_string(cfg.block) + ")");
+  t.set_header({"quantity", "value"});
+  t.add_row({"best local alignment score", fmt(score, 6)});
+  t.add_row({"reference banded DP score", fmt(expected, 6)});
+  t.add_row({"virtual time", fmt(res.vtime_max, 6)});
+  t.add_row({"messages", std::to_string(res.total.messages_sent)});
+  t.add_row({"max resident elements/rank", std::to_string(max_resident)});
+  t.add_row({"dense matrix would need",
+             std::to_string(cfg.n * cfg.n / static_cast<Coord>(p)) +
+                 " elements/rank"});
+  add_phase_rows(t, res);
+  t.add_note(score == expected ? "scores agree (bitwise)" : "MISMATCH!");
+  t.print(std::cout);
+  return score == expected ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
+  const int p = static_cast<int>(opts.get_int("p", 4));
+  if (opts.get_int("band", 0) > 0) return run_banded(opts, p);
+
   SmithWatermanConfig cfg;
   cfg.la = opts.get_int("la", 200);
   cfg.lb = opts.get_int("lb", 180);
   cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 42));
-  const int p = static_cast<int>(opts.get_int("p", 4));
 
   std::cout << "Smith-Waterman local alignment, |a|=" << cfg.la
             << " |b|=" << cfg.lb << "\n\n";
@@ -35,34 +116,44 @@ int main(int argc, char** argv) {
     std::cout << "\n\nthe recurrence compiles to:\n";
     auto check = check_wavefront<2>({kNorthWest, kNorth, kWest});
     std::cout << "  WSV " << to_string(check.wsv)
-              << " -> wavefront along dim "
-              << *check.analysis.wavefront_dim
-              << ", second dimension serialized, pipelined in blocks\n\n";
+              << " -> wavefront along dim " << *check.analysis.wavefront_dim
+              << "; both dims WSV '-', so a 2D mesh pipelines tiles along "
+                 "both axes\n\n";
   }
 
-  // Distributed fill and validation.
+  // Distributed fill over the mesh, and validation.
   const MachinePreset machine = t3e_like();
-  const ProcGrid<2> grid = ProcGrid<2>::along_dim(p, 0);
-  const Coord block = 16;
+  const ProcGrid<2> grid = choose_grid(p);
+  WaveOptions wopts;
+  wopts.block = opts.get_int("block", 16);
+  wopts.block_w = opts.get_int("block_w", 16);
 
   double score = 0.0;
-  auto res = Machine::run(p, machine.costs, [&](Communicator& comm) {
-    WaveOptions wopts;
-    wopts.block = block;
-    const Real s = smith_waterman_spmd(comm, cfg, grid, wopts);
-    if (comm.rank() == 0) score = s;
+  int axes = 0;
+  const auto res = Machine::run(p, machine.costs, [&](Communicator& comm) {
+    SmithWaterman app(cfg, grid, comm.rank());
+    app.init();
+    const auto rep = app.fill(comm, wopts);
+    const Real s = app.best_score(comm);
+    if (comm.rank() == 0) {
+      score = s;
+      axes = rep.axes;
+    }
   });
 
   SmithWaterman ref(cfg, ProcGrid<2>({1, 1}), 0);
   const Real expected = ref.reference_best_score();
 
-  Table t("pipelined DP fill (" + std::string(machine.name) + ", p=" +
-          std::to_string(p) + ", block=" + std::to_string(block) + ")");
+  Table t("pipelined DP fill (" + std::string(machine.name) + ", grid " +
+          grid.describe() + ", block=" + std::to_string(wopts.block) +
+          ", block_w=" + std::to_string(wopts.block_w) + ")");
   t.set_header({"quantity", "value"});
   t.add_row({"best local alignment score", fmt(score, 6)});
   t.add_row({"reference DP score", fmt(expected, 6)});
+  t.add_row({"frontier axes", std::to_string(axes)});
   t.add_row({"virtual time", fmt(res.vtime_max, 6)});
   t.add_row({"messages", std::to_string(res.total.messages_sent)});
+  add_phase_rows(t, res);
   t.add_note(score == expected ? "scores agree" : "MISMATCH!");
   t.print(std::cout);
   return score == expected ? 0 : 1;

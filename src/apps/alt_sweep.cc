@@ -207,9 +207,8 @@ SchedReport AltSweep::iterate_scheduled(Communicator& comm, int iterations,
         TaskGraph::Task t;
         t.label = "rxPre" + cs;
         t.diagonal = itbase + c;
-        t.inflow_src = succ;
-        t.inflow_tag = pretag.base + static_cast<int>(c);
-        t.inflow_elements = static_cast<std::size_t>(cb - ca + 1);
+        t.inflows.push_back({succ, pretag.base + static_cast<int>(c),
+                             static_cast<std::size_t>(cb - ca + 1)});
         const Region<2> face({{ghost_row, ca}}, {{ghost_row, cb}});
         t.run = [this, face](TaskContext& ctx) {
           unpack_region(u_.local(), face, ctx.inflow);
@@ -254,9 +253,8 @@ SchedReport AltSweep::iterate_scheduled(Communicator& comm, int iterations,
         TaskGraph::Task t;
         t.label = "rxG2" + cs;
         t.diagonal = itbase + 2 * nc + c;
-        t.inflow_src = succ;
-        t.inflow_tag = uptag.base + static_cast<int>(c);
-        t.inflow_elements = static_cast<std::size_t>(cb - ca + 1);
+        t.inflows.push_back({succ, uptag.base + static_cast<int>(c),
+                             static_cast<std::size_t>(cb - ca + 1)});
         const Region<2> face({{ghost_row, ca}}, {{ghost_row, cb}});
         t.run = [this, face](TaskContext& ctx) {
           unpack_region(u_.local(), face, ctx.inflow);

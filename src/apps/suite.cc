@@ -16,6 +16,16 @@ WaveOptions wave_opts(Coord block) {
   return o;
 }
 
+// The 2D entry's mesh: a factored pr x pc grid when p allows one, else
+// (p prime, p == 1) the 1D chain — the suite must run at any p.
+ProcGrid<2> sw2d_grid(int p) {
+  try {
+    return ProcGrid<2>::factored(p, {0, 1});
+  } catch (const ConfigError&) {
+    return ProcGrid<2>::along_dim(p, 0);
+  }
+}
+
 }  // namespace
 
 std::vector<SuiteApp> wavefront_suite() {
@@ -39,6 +49,7 @@ std::vector<SuiteApp> wavefront_suite() {
         if (comm.rank() == 0) *value = v;
       });
     };
+    app.grid_shape = [](int p) { return std::array<int, 2>{p, 1}; };
     suite.push_back(std::move(app));
   }
 
@@ -60,6 +71,7 @@ std::vector<SuiteApp> wavefront_suite() {
         if (comm.rank() == 0) *value = v;
       });
     };
+    app.grid_shape = [](int p) { return std::array<int, 2>{p, 1}; };
     suite.push_back(std::move(app));
   }
 
@@ -81,6 +93,7 @@ std::vector<SuiteApp> wavefront_suite() {
         if (comm.rank() == 0) *value = v;
       });
     };
+    app.grid_shape = [](int p) { return std::array<int, 2>{p, 1}; };
     suite.push_back(std::move(app));
   }
 
@@ -104,6 +117,38 @@ std::vector<SuiteApp> wavefront_suite() {
         if (comm.rank() == 0) *value = v;
       });
     };
+    app.grid_shape = [](int p) { return std::array<int, 2>{p, 1}; };
+    suite.push_back(std::move(app));
+  }
+
+  {
+    SuiteApp app;
+    app.name = "smith-waterman-2d";
+    app.wavefront_note =
+        "same DP fill on a factored pr x pc mesh: 2D frontier, north+west "
+        "inflow faces, tiles pipelined along both axes";
+    app.default_n = 256;
+    app.last_value = std::make_shared<double>(0.0);
+    auto value = app.last_value;
+    app.run = [value](int p, const CostModel& costs, Coord n, int iters,
+                      Coord block) {
+      SmithWatermanConfig cfg;
+      cfg.la = n;
+      cfg.lb = n;
+      const ProcGrid<2> grid = sw2d_grid(p);
+      WaveOptions o = wave_opts(block);
+      o.block_w = block;  // pipeline both frontier axes at the same grain
+      return Machine::run(p, costs, [&](Communicator& comm) {
+        Real v = 0.0;
+        for (int it = 0; it < iters; ++it)
+          v = smith_waterman_spmd(comm, cfg, grid, o);
+        if (comm.rank() == 0) *value = v;
+      });
+    };
+    app.grid_shape = [](int p) {
+      const auto g = sw2d_grid(p);
+      return std::array<int, 2>{g.dim(0), g.dim(1)};
+    };
     suite.push_back(std::move(app));
   }
 
@@ -125,6 +170,7 @@ std::vector<SuiteApp> wavefront_suite() {
         if (comm.rank() == 0) *value = v;
       });
     };
+    app.grid_shape = [](int p) { return std::array<int, 2>{p, 1}; };
     suite.push_back(std::move(app));
   }
 

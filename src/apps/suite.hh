@@ -7,6 +7,7 @@
 // SIMPLE, SWEEP3D, Smith-Waterman, and SOR.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <string>
@@ -30,6 +31,10 @@ struct SuiteApp {
   std::function<RunResult(int p, const CostModel& costs, Coord n, int iters,
                           Coord block)>
       run;
+  /// The processor-grid shape [pr, pc] the app uses at p ranks (1D chain
+  /// apps report [p, 1]; 2D-frontier apps a factored mesh). Reported in
+  /// BENCH_suite.json so results name the mesh they measured.
+  std::function<std::array<int, 2>(int p)> grid_shape;
   /// The app's result value from the last run (checksum/score/flux),
   /// written by run(); lets benches assert naive == pipelined.
   std::shared_ptr<double> last_value;

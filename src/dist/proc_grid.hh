@@ -49,13 +49,41 @@ class ProcGrid {
   }
 
   /// Near-square factorization of p over the dims listed in `distributed`.
+  /// Every listed dimension must actually end up distributed (factor > 1):
+  /// a prime p over two dimensions, more dimensions than p has prime
+  /// factors, or p == 1 would all silently degenerate to a lower-rank grid
+  /// than the caller asked for, so they throw ConfigError instead. Use
+  /// along_dim (or list fewer dimensions) for deliberately 1D layouts.
   static ProcGrid factored(int p, const std::vector<Rank>& distributed) {
+    if (distributed.empty())
+      throw ConfigError("ProcGrid::factored needs at least one dimension "
+                        "to distribute (got an empty list)");
     std::array<int, R> dims;
     dims.fill(1);
+    for (std::size_t i = 0; i < distributed.size(); ++i) {
+      const Rank d = distributed[i];
+      if (d < 0 || d >= R)
+        throw ConfigError("ProcGrid::factored: dimension " +
+                          std::to_string(d) + " is outside a rank-" +
+                          std::to_string(R) + " grid");
+      if (dims[d] != 1)
+        throw ConfigError("ProcGrid::factored: dimension " +
+                          std::to_string(d) + " is listed twice");
+      dims[d] = 0;  // marks "requested" until the factor lands below
+    }
     const auto f =
         factorize_processors(p, static_cast<int>(distributed.size()));
-    for (std::size_t i = 0; i < distributed.size(); ++i)
+    for (std::size_t i = 0; i < distributed.size(); ++i) {
+      if (f[i] <= 1)
+        throw ConfigError(
+            "ProcGrid::factored: " + std::to_string(p) + " processors "
+            "cannot be spread over " + std::to_string(distributed.size()) +
+            " dimensions without a degenerate axis (dimension " +
+            std::to_string(distributed[i]) + " would get 1 processor); "
+            "choose a p with enough prime factors or distribute fewer "
+            "dimensions");
       dims[distributed[i]] = f[i];
+    }
     return ProcGrid(dims);
   }
 

@@ -33,6 +33,11 @@ struct ArrayUse {
   /// Max |d_w| over primed reads of this array: the depth of the face this
   /// array contributes to wave messages (0 when not primed-read).
   Coord wave_depth = 0;
+  /// Per-dimension max |offset| over *primed* reads only: the face depth
+  /// this array contributes along each candidate frontier axis (2D
+  /// frontiers tile two distributed dimensions, so one scalar wave_depth is
+  /// not enough). prime_halo.v[wdim] == wave_depth by construction.
+  Idx<R> prime_halo{};
 
   const std::string& name() const { return array->name(); }
 };

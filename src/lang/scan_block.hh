@@ -177,6 +177,8 @@ class ScanBlock {
         for (Rank d = 0; d < R; ++d) {
           const Coord mag = acc.dir.v[d] < 0 ? -acc.dir.v[d] : acc.dir.v[d];
           use.halo.v[d] = std::max(use.halo.v[d], mag);
+          if (acc.primed)
+            use.prime_halo.v[d] = std::max(use.prime_halo.v[d], mag);
         }
       }
     }

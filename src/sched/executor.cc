@@ -155,11 +155,11 @@ void check_static_safe(const TaskGraph& graph, const SchedOptions& opts) {
   const std::size_t n = graph.size();
   for (std::size_t i = 0; i < n; ++i) {
     const TaskGraph::Task& task = graph.task(static_cast<TaskId>(i));
-    if (task.inflow_src < 0) continue;
+    if (task.inflows.empty()) continue;
     throw SchedError(
         "static " + std::string(to_string(opts.policy)) +
         " scheduling over a cross-rank graph (task '" + task.label +
-        "' has inflow from rank " + std::to_string(task.inflow_src) +
+        "' has inflow from rank " + std::to_string(task.inflows.front().src) +
         ") can deadlock: the pick order may block a receive ahead of the "
         "send its peer needs. Use adaptive mode, the fifo policy, or set "
         "SchedOptions::allow_unsafe_static / WAVEPIPE_SCHED_UNSAFE_STATIC=1 "
@@ -218,23 +218,33 @@ class SchedExecutor : public TaskSink {
   std::priority_queue<std::pair<Key, TaskId>,
                       std::vector<std::pair<Key, TaskId>>, std::greater<>>
       ready_;
-  // Released tasks whose inflow is still in flight, in irecv-posting order
-  // (wait_any and the promotion scan must see requests in that order).
+  // Posted-but-unarrived inflow irecvs of released tasks, in posting order
+  // (wait_any and the promotion scan must see requests in that order). One
+  // entry per *inflow*, so a two-inflow task appears twice; missing_ counts
+  // how many of a task's inflows are still in flight, and the task is
+  // promoted when its count hits zero.
   std::vector<TaskId> pending_;
   std::vector<Request> pending_req_;
-  std::vector<std::vector<double>> inflow_buf_;
+  std::vector<int> missing_;
+  std::vector<std::vector<std::vector<double>>> inflow_buf_;  // [task][inflow]
   std::vector<Request> sends_;
   SchedReport report_;
 };
 
 void SchedExecutor::release(TaskId t) {
   const TaskGraph::Task& task = graph_.task(t);
-  if (opts_.adaptive && task.inflow_src >= 0) {
-    auto& buf = inflow_buf_[static_cast<std::size_t>(t)];
-    buf.resize(task.inflow_elements);
-    pending_req_.push_back(comm_.irecv(task.inflow_src, std::span<double>(buf),
-                                       task.inflow_tag));
-    pending_.push_back(t);
+  if (opts_.adaptive && !task.inflows.empty()) {
+    auto& bufs = inflow_buf_[static_cast<std::size_t>(t)];
+    bufs.resize(task.inflows.size());
+    for (std::size_t k = 0; k < task.inflows.size(); ++k) {
+      bufs[k].resize(task.inflows[k].elements);
+      pending_req_.push_back(comm_.irecv(task.inflows[k].src,
+                                         std::span<double>(bufs[k]),
+                                         task.inflows[k].tag));
+      pending_.push_back(t);
+    }
+    missing_[static_cast<std::size_t>(t)] =
+        static_cast<int>(task.inflows.size());
     report_.max_posted = std::max(report_.max_posted, pending_.size());
   } else {
     // Static mode posts the irecv lazily, when the policy picks the task —
@@ -246,32 +256,42 @@ void SchedExecutor::release(TaskId t) {
 
 void SchedExecutor::run_task(TaskId t) {
   const TaskGraph::Task& task = graph_.task(t);
-  auto& buf = inflow_buf_[static_cast<std::size_t>(t)];
+  auto& bufs = inflow_buf_[static_cast<std::size_t>(t)];
   const double t0 = comm_.vtime();
-  if (!opts_.adaptive && task.inflow_src >= 0) {
-    buf.resize(task.inflow_elements);
-    Request r = comm_.irecv(task.inflow_src, std::span<double>(buf),
-                            task.inflow_tag);
-    ++report_.blocked_waits;
-    comm_.set_wait_context("task '" + task.label + "'");
-    try {
-      comm_.wait(r);
-    } catch (const EngineError& e) {
-      rethrow_deadlock({t}, e);
-    } catch (const CommError& e) {
-      // Machine poisoned (the fiber engine unwinding a deadlock): name the
-      // task this rank was stuck on as the stack unwinds.
-      rethrow_deadlock({t}, e);
+  if (!opts_.adaptive && !task.inflows.empty()) {
+    // Static mode receives the inflows blocking, one by one in declaration
+    // order — the deterministic schedule every rank can replay.
+    bufs.resize(task.inflows.size());
+    for (std::size_t k = 0; k < task.inflows.size(); ++k) {
+      bufs[k].resize(task.inflows[k].elements);
+      Request r = comm_.irecv(task.inflows[k].src, std::span<double>(bufs[k]),
+                              task.inflows[k].tag);
+      ++report_.blocked_waits;
+      comm_.set_wait_context("task '" + task.label + "'");
+      try {
+        comm_.wait(r);
+      } catch (const EngineError& e) {
+        rethrow_deadlock({t}, e);
+      } catch (const CommError& e) {
+        // Machine poisoned (the fiber engine unwinding a deadlock): name
+        // the task this rank was stuck on as the stack unwinds.
+        rethrow_deadlock({t}, e);
+      }
+      comm_.set_wait_context("");
     }
-    comm_.set_wait_context("");
   }
+  std::vector<std::span<const double>> payloads(bufs.size());
+  for (std::size_t k = 0; k < bufs.size(); ++k)
+    payloads[k] = std::span<const double>(bufs[k]);
   TaskContext ctx(comm_, *this);
-  ctx.inflow = std::span<const double>(buf);
+  ctx.inflows = std::span<const std::span<const double>>(payloads);
+  if (!payloads.empty()) ctx.inflow = payloads.front();
   if (task.run) task.run(ctx);
   comm_.tracer().record(TraceEventType::kTask, t0, comm_.vtime(),
-                        task.inflow_src, static_cast<int>(t),
+                        task.inflows.empty() ? -1 : task.inflows.front().src,
+                        static_cast<int>(t),
                         static_cast<std::uint64_t>(task.cost));
-  std::vector<double>().swap(buf);
+  std::vector<std::vector<double>>().swap(bufs);
   for (const TaskId s : graph_.successors(t))
     if (--deps_[static_cast<std::size_t>(s)] == 0) release(s);
 }
@@ -280,10 +300,18 @@ void SchedExecutor::rethrow_deadlock(const std::vector<TaskId>& stuck,
                                      const Error& cause) const {
   std::ostringstream os;
   os << "scheduler deadlock on rank " << comm_.rank() << ": stuck on ";
-  for (std::size_t i = 0; i < stuck.size(); ++i) {
-    const TaskGraph::Task& task = graph_.task(stuck[i]);
-    os << (i == 0 ? "" : ", ") << "task '" << task.label << "' (inflow src="
-       << task.inflow_src << " tag=" << task.inflow_tag << ")";
+  bool first = true;
+  TaskId prev = kNoTask;
+  for (const TaskId id : stuck) {
+    if (id == prev) continue;  // a task pends once per inflow; name it once
+    prev = id;
+    const TaskGraph::Task& task = graph_.task(id);
+    os << (first ? "" : ", ") << "task '" << task.label << "' (";
+    for (std::size_t k = 0; k < task.inflows.size(); ++k)
+      os << (k ? ", " : "") << "inflow src=" << task.inflows[k].src
+         << " tag=" << task.inflows[k].tag;
+    os << ")";
+    first = false;
   }
   os << "; " << cause.what();
   throw SchedError(os.str());
@@ -300,20 +328,28 @@ SchedReport SchedExecutor::run() {
   deps_ = analysis_.deps;
   sched_internal::check_static_safe(graph_, opts_);
   inflow_buf_.resize(n);
+  missing_.assign(n, 0);
   for (std::size_t i = 0; i < n; ++i)
     if (deps_[i] == 0) release(static_cast<TaskId>(i));
+
+  // Consumes pending slot `i` (its request completed) and promotes its task
+  // once no inflow of it remains in flight.
+  auto settle_pending = [&](std::size_t i) {
+    const TaskId t = pending_[i];
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+    pending_req_.erase(pending_req_.begin() + static_cast<std::ptrdiff_t>(i));
+    if (--missing_[static_cast<std::size_t>(t)] == 0)
+      ready_.push({key(t), t});
+  };
 
   std::size_t done = 0;
   while (done < n) {
     if (opts_.adaptive) {
-      // Promote every pending task whose inflow has physically arrived;
-      // test() consumes the request without advancing the clock.
+      // Promote every pending task all of whose inflows have physically
+      // arrived; test() consumes a request without advancing the clock.
       for (std::size_t i = 0; i < pending_.size();) {
         if (comm_.test(pending_req_[i])) {
-          ready_.push({key(pending_[i]), pending_[i]});
-          pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
-          pending_req_.erase(pending_req_.begin() +
-                             static_cast<std::ptrdiff_t>(i));
+          settle_pending(i);
         } else {
           ++i;
         }
@@ -339,10 +375,7 @@ SchedReport SchedExecutor::run() {
           rethrow_deadlock(pending_, e);
         }
         comm_.set_wait_context("");
-        ready_.push({key(pending_[idx]), pending_[idx]});
-        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(idx));
-        pending_req_.erase(pending_req_.begin() +
-                           static_cast<std::ptrdiff_t>(idx));
+        settle_pending(idx);
         continue;
       }
       const auto [k, t] = ready_.top();

@@ -3,10 +3,11 @@
 namespace wavepipe {
 
 TaskId TaskGraph::add(Task t) {
-  require(t.inflow_src < 0 || t.inflow_elements > 0,
-          "a task inflow must carry at least one element");
-  require(t.inflow_src < 0 || t.inflow_tag >= 0,
-          "user message tags must be >= 0");
+  for (const TaskInflow& in : t.inflows) {
+    require(in.src >= 0, "a task inflow must name a source rank");
+    require(in.elements > 0, "a task inflow must carry at least one element");
+    require(in.tag >= 0, "user message tags must be >= 0");
+  }
   require(t.cost >= 0.0, "task cost must be >= 0");
   const TaskId id = static_cast<TaskId>(tasks_.size());
   tasks_.push_back(std::move(t));

@@ -7,9 +7,11 @@
 // tiling legality condition c[t]*s >= 0 forces an order), and inter-plan
 // ones are declared explicitly by the program that lowers several plans
 // into one graph (SWEEP3D's in-order flux accumulation, ALT's V -> G2 -> H
-// chunk chains). A task may additionally consume at most one message
-// (its "inflow") — the executor posts the irecv, and the payload is handed
-// to the task body when it runs.
+// chunk chains). A task may additionally consume a small fixed set of
+// messages (its "inflows" — e.g. a 2D-frontier tile's north and west
+// faces) — the executor posts one irecv per inflow, promotes the task only
+// when *all* of them have arrived, and hands the payloads to the task body
+// in declaration order when it runs.
 //
 // The graph is rank-local and pure data: building it performs no
 // communication, and running it (sched/executor.hh) is an SPMD collective
@@ -56,14 +58,24 @@ class TaskSink {
                          int tag) = 0;
 };
 
-/// What a running task sees. `inflow` is the task's received payload
-/// (empty when the task declared none); send() issues a nonblocking send
-/// whose completion the executor settles in posting order after the graph
-/// drains — the payload is copied out immediately, so temporaries are fine.
+/// One message a task consumes before it may run.
+struct TaskInflow {
+  int src = -1;
+  int tag = 0;
+  std::size_t elements = 0;
+};
+
+/// What a running task sees. `inflows` holds the received payloads in the
+/// task's declaration order; `inflow` aliases the first of them (empty when
+/// the task declared none) — the overwhelmingly common single-inflow case.
+/// send() issues a nonblocking send whose completion the executor settles
+/// in posting order after the graph drains — the payload is copied out
+/// immediately, so temporaries are fine.
 class TaskContext {
  public:
   Communicator& comm;
   std::span<const double> inflow;
+  std::span<const std::span<const double>> inflows;
 
   void send(int dst, std::span<const double> payload, int tag) {
     sink_.task_send(dst, payload, tag);
@@ -86,10 +98,12 @@ class TaskGraph {
     /// Wavefront-diagonal priority key (smaller runs first under the
     /// diagonal policy); typically fill level / hyperplane index.
     std::int64_t diagonal = 0;
-    /// The one message this task consumes, or inflow_src < 0 for none.
-    int inflow_src = -1;
-    int inflow_tag = 0;
-    std::size_t inflow_elements = 0;
+    /// The messages this task consumes before it may run (empty for none).
+    /// Order is the payload order the body sees via TaskContext::inflows;
+    /// per-(src, tag) FIFO matching is the caller's responsibility, via
+    /// edges chaining same-tag consumers in posting order (the lowering
+    /// helpers do this).
+    std::vector<TaskInflow> inflows;
     /// The body; may be empty for pure receive/join tasks (the inflow, if
     /// any, is still received — into the buffer run() would have seen).
     std::function<void(TaskContext&)> run;

@@ -34,31 +34,41 @@ namespace wavepipe {
 
 template <Rank R>
 struct LoweredWave {
-  /// The instance's tile tasks in tile order; size() == tiling.tiles(block)
-  /// when waved, exactly 1 otherwise.
+  /// The instance's tile tasks in tile order (row-major u*tiles+v on a 2D
+  /// frontier); size() == wtiles * tiles(block) when waved, 1 otherwise.
   std::vector<TaskId> tiles;
   WaveTiling<R> tiling;
-  /// The effective (clamped) block size.
+  /// The effective (clamped) block size along the tile dimension.
   Coord block = 0;
+  /// 2D frontiers: tile rows along w and the effective block_w (1 and 0
+  /// otherwise).
+  Coord wtiles = 1;
+  Coord block_w = 0;
 };
 
 struct LowerOptions {
   /// Requested tile size along the tile dimension; <= 0 means the whole
   /// local extent (one tile).
   Coord block = 0;
+  /// 2D frontiers: requested tile-row height along the wavefront
+  /// dimension; <= 0 means the whole local extent (one tile row).
+  Coord block_w = 0;
   /// Charge one virtual-time unit of compute per element.
   bool charge = true;
-  /// Added to the tile index to form each task's wavefront-diagonal key, so
-  /// several instances lowered into one graph interleave by global fill
-  /// level under the diagonal policy.
+  /// Added to the tile index (u+v on a 2D frontier — the tile grid's
+  /// anti-diagonal) to form each task's wavefront-diagonal key, so several
+  /// instances lowered into one graph interleave by global fill level
+  /// under the diagonal policy.
   std::int64_t base_diagonal = 0;
 };
 
 /// Lowers one plan instance for `rank` into `g`. `tags` must span at least
-/// wavefront_tag_span<R>() tags and belong to this instance alone; the wave
-/// messages use the same in-window offset (base + 2R) as run_wavefront, so
-/// a scheduled rank can interoperate with a rank running run_wavefront on
-/// the same tag base. Tasks are labelled "<label>[j]".
+/// wavefront_tag_span<R>(tiling.axes) tags and belong to this instance
+/// alone; the wave messages use the same in-window offsets (base + 2R for
+/// the wavefront axis, base + 2R + 1 for the second frontier axis) as
+/// run_wavefront, so a scheduled rank can interoperate with a rank running
+/// run_wavefront on the same tag base. Tasks are labelled "<label>[j]" (1D)
+/// or "<label>[u,v]" (2D frontier, row-major tile grid).
 template <Rank R>
 LoweredWave<R> lower_wavefront(TaskGraph& g, const WavefrontPlan<R>& plan,
                                const Layout<R>& layout, int rank,
@@ -84,9 +94,123 @@ LoweredWave<R> lower_wavefront(TaskGraph& g, const WavefrontPlan<R>& plan,
     return lw;
   }
 
-  require(tags.count >= wavefront_tag_span<R>(),
+  require(tags.count >= wavefront_tag_span<R>(t.axes),
           "tag range too narrow for a wavefront instance (need "
           "wavefront_tag_span tags)");
+  if (t.axes == 2) {
+    const Coord bw = t.clamp_block_w(opts.block_w);
+    const Coord bj = t.clamp_block(opts.block);
+    const Coord mi = t.wtiles(opts.block_w);
+    const Coord mj = t.tiles(opts.block);
+    lw.block = bj;
+    lw.wtiles = mi;
+    lw.block_w = bw;
+    const int tag_n = tags.base + 2 * static_cast<int>(R);  // axis 0
+    const int tag_w = tag_n + 1;                            // axis 1
+
+    const auto wave_uses = plan.wave_arrays();
+    // Same payload layout as run_wavefront_2d: axis 0 faces span a column
+    // tile's range along w2, axis 1 faces a row tile's range along w (with
+    // the corner extension wave_faces_2d adds).
+    auto faces2 = [](const WavefrontPlan<R>& p, const WaveTiling<R>& wt,
+                     Coord block_w, Coord block, Coord u, Coord v, int axis,
+                     bool inflow) {
+      if (axis == 0) {
+        const auto [ca, cb] = wt.tile_range(block, v);
+        return detail::wave_faces_2d(p, wt, 0, inflow, ca, cb);
+      }
+      const auto [ra, rb] = wt.wtile_range(block_w, u);
+      return detail::wave_faces_2d(p, wt, 1, inflow, ra, rb);
+    };
+    auto total_of = [](const std::vector<Region<R>>& fs) {
+      std::size_t n = 0;
+      for (const auto& f : fs) n += static_cast<std::size_t>(f.size());
+      return n;
+    };
+
+    for (Coord u = 0; u < mi; ++u) {
+      for (Coord v = 0; v < mj; ++v) {
+        TaskGraph::Task task;
+        task.label = label + "[" + std::to_string(u) + "," +
+                     std::to_string(v) + "]";
+        const Region<R> tile = t.tile2(bw, bj, u, v);
+        task.cost = static_cast<double>(tile.size());
+        task.diagonal = opts.base_diagonal + u + v;
+
+        // Declaration order north-then-west is the body's unpack order.
+        if (u == 0 && t.pred >= 0)
+          task.inflows.push_back(
+              {t.pred, tag_n, total_of(faces2(plan, t, bw, bj, u, v, 0,
+                                              /*inflow=*/true))});
+        if (v == 0 && t.pred2 >= 0)
+          task.inflows.push_back(
+              {t.pred2, tag_w, total_of(faces2(plan, t, bw, bj, u, v, 1,
+                                               /*inflow=*/true))});
+
+        const bool charge = opts.charge;
+        task.run = [&plan, tiling = t, wave_uses, faces2, bw, bj, mi, mj, u,
+                    v, tile, charge, tag_n, tag_w](TaskContext& ctx) {
+          auto unpack_faces = [&](const std::vector<Region<R>>& fs,
+                                  std::span<const Real> payload) {
+            std::size_t off = 0;
+            for (std::size_t ui = 0; ui < fs.size(); ++ui) {
+              const std::size_t n = static_cast<std::size_t>(fs[ui].size());
+              if (n == 0) continue;
+              require(wave_uses[ui].array->region().contains(fs[ui]),
+                      "array '" + wave_uses[ui].name() +
+                          "' allocates too little fluff for the wave inflow "
+                          "face");
+              unpack_region(*wave_uses[ui].array, fs[ui],
+                            payload.subspan(off, n));
+              off += n;
+            }
+          };
+          auto pack_faces = [&](const std::vector<Region<R>>& fs,
+                                std::vector<Real>& buf) {
+            buf.clear();
+            for (std::size_t ui = 0; ui < fs.size(); ++ui) {
+              if (fs[ui].size() == 0) continue;
+              require(wave_uses[ui].array->region().contains(fs[ui]),
+                      "array '" + wave_uses[ui].name() +
+                          "' allocates too little fluff for the wave outflow "
+                          "face");
+              pack_region_into(*wave_uses[ui].array, fs[ui], buf);
+            }
+          };
+
+          std::size_t pi = 0;
+          if (u == 0 && tiling.pred >= 0)
+            unpack_faces(faces2(plan, tiling, bw, bj, u, v, 0, true),
+                         ctx.inflows[pi++]);
+          if (v == 0 && tiling.pred2 >= 0)
+            unpack_faces(faces2(plan, tiling, bw, bj, u, v, 1, true),
+                         ctx.inflows[pi++]);
+          run_serial_on(plan, tile);
+          if (charge) ctx.comm.compute(static_cast<double>(tile.size()));
+          if (u == mi - 1 && tiling.succ >= 0) {
+            std::vector<Real> buf;
+            pack_faces(faces2(plan, tiling, bw, bj, u, v, 0, false), buf);
+            ctx.send(tiling.succ, std::span<const Real>(buf), tag_n);
+          }
+          if (v == mj - 1 && tiling.succ2 >= 0) {
+            std::vector<Real> buf;
+            pack_faces(faces2(plan, tiling, bw, bj, u, v, 1, false), buf);
+            ctx.send(tiling.succ2, std::span<const Real>(buf), tag_w);
+          }
+        };
+
+        const TaskId id = g.add(std::move(task));
+        // Row-major chain edges encode both the tiling legality order and
+        // the per-(src, tag) FIFO posting order for the two inflow streams.
+        if (v > 0) g.add_edge(lw.tiles.back(), id);
+        if (u > 0)
+          g.add_edge(lw.tiles[static_cast<std::size_t>((u - 1) * mj + v)], id);
+        lw.tiles.push_back(id);
+      }
+    }
+    return lw;
+  }
+
   const int wave_tag = tags.base + 2 * static_cast<int>(R);
   const Coord b = t.clamp_block(opts.block);
   const Coord m = t.tiles(opts.block);
@@ -118,9 +242,7 @@ LoweredWave<R> lower_wavefront(TaskGraph& g, const WavefrontPlan<R>& plan,
       std::size_t total = 0;
       for (const auto& f : faces_for(t, b, j, /*inflow=*/true))
         total += static_cast<std::size_t>(f.size());
-      task.inflow_src = t.pred;
-      task.inflow_tag = wave_tag;
-      task.inflow_elements = total;
+      task.inflows.push_back({t.pred, wave_tag, total});
     }
 
     const bool charge = opts.charge;

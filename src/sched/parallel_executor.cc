@@ -152,10 +152,13 @@ class TaskArena {
     // departure quiesce gate (see run_item / quiesce for the protocol).
     std::atomic<int> inflight{0};
 
-    // Guarded by comm's operation lock.
+    // Guarded by comm's operation lock. A task pends once per inflow (the
+    // entries are consecutive, in declaration order); `missing` counts the
+    // in-flight inflows per task and the task is promoted at zero.
     std::vector<TaskId> pending;        // adaptive: inflow posted, in flight
     std::vector<Request> pending_req;   // parallel to `pending`
-    std::vector<std::vector<double>> inflow_buf;
+    std::vector<int> missing;
+    std::vector<std::vector<std::vector<double>>> inflow_buf;  // [task][in]
     std::vector<Request> sends;
     std::priority_queue<KeyedTask, std::vector<KeyedTask>, std::greater<>>
         ready_pq;  // static mode: released tasks in the policy's order
@@ -234,8 +237,11 @@ class TaskArena {
     const TaskGraph::Task& task = q.graph.task(t);
     std::ostringstream os;
     os << "scheduler deadlock on rank " << q.comm.rank() << ": stuck on task '"
-       << task.label << "' (inflow src=" << task.inflow_src
-       << " tag=" << task.inflow_tag << "); " << cause.what();
+       << task.label << "' (";
+    for (std::size_t k = 0; k < task.inflows.size(); ++k)
+      os << (k ? ", " : "") << "inflow src=" << task.inflows[k].src
+         << " tag=" << task.inflows[k].tag;
+    os << "); " << cause.what();
     set_failed(os.str());
     throw SchedError(os.str());
   }
@@ -284,13 +290,18 @@ void TaskArena::release_locked(RankSlot& q, TaskId t,
     q.ready_pq.push({q.key(t), t});
     return;
   }
-  if (task.inflow_src >= 0) {
-    auto& buf = q.inflow_buf[static_cast<std::size_t>(t)];
-    buf.resize(task.inflow_elements);
-    q.pending_req.push_back(
-        q.comm.irecv(task.inflow_src, std::span<double>(buf),
-                     task.inflow_tag));
-    q.pending.push_back(t);
+  if (!task.inflows.empty()) {
+    auto& bufs = q.inflow_buf[static_cast<std::size_t>(t)];
+    bufs.resize(task.inflows.size());
+    for (std::size_t k = 0; k < task.inflows.size(); ++k) {
+      bufs[k].resize(task.inflows[k].elements);
+      q.pending_req.push_back(q.comm.irecv(task.inflows[k].src,
+                                           std::span<double>(bufs[k]),
+                                           task.inflows[k].tag));
+      q.pending.push_back(t);
+    }
+    q.missing[static_cast<std::size_t>(t)] =
+        static_cast<int>(task.inflows.size());
     q.report.max_posted = std::max(q.report.max_posted, q.pending.size());
   } else {
     ready->push_back({q.key(t), t});
@@ -318,6 +329,7 @@ SchedReport TaskArena::run(const TaskGraph& graph, Communicator& comm,
     for (std::size_t i = 0; i < n; ++i)
       my.deps[i].store(my.analysis.deps[i], std::memory_order_relaxed);
     my.inflow_buf.resize(n);
+    my.missing.assign(n, 0);
     my.remaining.store(n, std::memory_order_seq_cst);
 
     // Initial releases, before the slot is visible to anyone else.
@@ -461,10 +473,12 @@ void TaskArena::drain_arrived(RankSlot& q, std::vector<KeyedTask>& got) {
       // this accepts a future-stamped message, charging the stall now —
       // adaptive runs are probe-class, values stay exact.
       q.comm.wait(q.pending_req[i]);
-      got.push_back({q.key(q.pending[i]), q.pending[i]});
+      const TaskId t = q.pending[i];
       q.pending.erase(q.pending.begin() + static_cast<std::ptrdiff_t>(i));
       q.pending_req.erase(q.pending_req.begin() +
                           static_cast<std::ptrdiff_t>(i));
+      if (--q.missing[static_cast<std::size_t>(t)] == 0)
+        got.push_back({q.key(t), t});
     } else {
       ++i;
     }
@@ -503,32 +517,43 @@ bool TaskArena::run_stream(RankSlot& my, int r) {
 
 void TaskArena::run_static_task(RankSlot& q, TaskId t) {
   const TaskGraph::Task& task = q.graph.task(t);
-  auto& buf = q.inflow_buf[static_cast<std::size_t>(t)];
+  auto& bufs = q.inflow_buf[static_cast<std::size_t>(t)];
   const double t0 = q.comm.vtime();
-  if (task.inflow_src >= 0) {
-    buf.resize(task.inflow_elements);
-    Request r = q.comm.irecv(task.inflow_src, std::span<double>(buf),
-                             task.inflow_tag);
-    ++q.report.blocked_waits;
-    q.comm.set_wait_context("task '" + task.label + "'");
-    try {
-      q.comm.wait(r);
-    } catch (const EngineError& e) {
-      fail_stuck(q, t, e);
-    } catch (const CommError& e) {
-      fail_stuck(q, t, e);
+  if (!task.inflows.empty()) {
+    // Blocking receives in declaration order — the SPMD static executor's
+    // exact operation sequence.
+    bufs.resize(task.inflows.size());
+    for (std::size_t k = 0; k < task.inflows.size(); ++k) {
+      bufs[k].resize(task.inflows[k].elements);
+      Request r = q.comm.irecv(task.inflows[k].src,
+                               std::span<double>(bufs[k]),
+                               task.inflows[k].tag);
+      ++q.report.blocked_waits;
+      q.comm.set_wait_context("task '" + task.label + "'");
+      try {
+        q.comm.wait(r);
+      } catch (const EngineError& e) {
+        fail_stuck(q, t, e);
+      } catch (const CommError& e) {
+        fail_stuck(q, t, e);
+      }
+      q.comm.set_wait_context("");
     }
-    q.comm.set_wait_context("");
   }
   {
+    std::vector<std::span<const double>> payloads(bufs.size());
+    for (std::size_t k = 0; k < bufs.size(); ++k)
+      payloads[k] = std::span<const double>(bufs[k]);
     TaskContext ctx(q.comm, q);
-    ctx.inflow = std::span<const double>(buf);
+    ctx.inflows = std::span<const std::span<const double>>(payloads);
+    if (!payloads.empty()) ctx.inflow = payloads.front();
     if (task.run) task.run(ctx);
   }
   q.comm.tracer().record(TraceEventType::kTask, t0, q.comm.vtime(),
-                         task.inflow_src, static_cast<int>(t),
+                         task.inflows.empty() ? -1 : task.inflows.front().src,
+                         static_cast<int>(t),
                          static_cast<std::uint64_t>(task.cost));
-  std::vector<double>().swap(buf);
+  std::vector<std::vector<double>>().swap(bufs);
   for (const TaskId s : q.graph.successors(t))
     if (q.deps[static_cast<std::size_t>(s)].fetch_sub(
             1, std::memory_order_seq_cst) == 1)
@@ -559,7 +584,7 @@ void TaskArena::run_item(RankSlot& my, std::int64_t v) {
   }
   const TaskId t = item_task(v);
   const TaskGraph::Task& task = q.graph.task(t);
-  auto& buf = q.inflow_buf[static_cast<std::size_t>(t)];
+  auto& bufs = q.inflow_buf[static_cast<std::size_t>(t)];
   double t0 = 0.0;
   {
     auto l = q.comm.lock_ops();
@@ -568,17 +593,22 @@ void TaskArena::run_item(RankSlot& my, std::int64_t v) {
   {
     // The body runs unlocked — this is the real-parallelism window. Its
     // comm calls (TaskContext::send, compute, ...) self-lock.
+    std::vector<std::span<const double>> payloads(bufs.size());
+    for (std::size_t k = 0; k < bufs.size(); ++k)
+      payloads[k] = std::span<const double>(bufs[k]);
     TaskContext ctx(q.comm, q);
-    ctx.inflow = std::span<const double>(buf);
+    ctx.inflows = std::span<const std::span<const double>>(payloads);
+    if (!payloads.empty()) ctx.inflow = payloads.front();
     if (task.run) task.run(ctx);
   }
   {
     auto l = q.comm.lock_ops();
     q.comm.tracer().record(TraceEventType::kTask, t0, q.comm.vtime(),
-                           task.inflow_src, static_cast<int>(t),
+                           task.inflows.empty() ? -1 : task.inflows.front().src,
+                           static_cast<int>(t),
                            static_cast<std::uint64_t>(task.cost));
   }
-  std::vector<double>().swap(buf);
+  std::vector<std::vector<double>>().swap(bufs);
   finish_task(my, q, t);
 }
 
@@ -667,12 +697,17 @@ bool TaskArena::maybe_declare_deadlock(RankSlot& my) {
       auto l = s->comm.try_lock_ops();
       if (!l.owns_lock()) return false;  // someone is mid-operation
       if (s->opts.adaptive) {
+        TaskId prev = kNoTask;
         for (std::size_t i = 0; i < s->pending.size(); ++i) {
           if (s->comm.arrived(s->pending_req[i])) return false;
+          if (s->pending[i] == prev) continue;  // one line per stuck task
+          prev = s->pending[i];
           const TaskGraph::Task& task = s->graph.task(s->pending[i]);
-          stuck << (any_stuck ? ", " : "") << "task '" << task.label
-                << "' (inflow src=" << task.inflow_src
-                << " tag=" << task.inflow_tag << ") on rank " << r;
+          stuck << (any_stuck ? ", " : "") << "task '" << task.label << "' (";
+          for (std::size_t k = 0; k < task.inflows.size(); ++k)
+            stuck << (k ? ", " : "") << "inflow src=" << task.inflows[k].src
+                  << " tag=" << task.inflows[k].tag;
+          stuck << ") on rank " << r;
           any_stuck = true;
         }
       } else {

@@ -127,5 +127,171 @@ TEST(SmithWaterman, UnfusedAgreesWithFused) {
   EXPECT_DOUBLE_EQ(max_abs_difference(a.h(), b.h()), 0.0);
 }
 
+EngineConfig engine(EngineKind kind) {
+  EngineConfig cfg;
+  cfg.kind = kind;
+  return cfg;
+}
+
+/// Every cell this rank owns, bitwise against a serial fill of the whole
+/// problem (each rank builds its own 1x1 oracle — no gather needed).
+void expect_cells_match_serial(const SmithWatermanConfig& cfg,
+                               SmithWaterman& app, Communicator& comm) {
+  SmithWaterman ref(cfg, ProcGrid<2>({1, 1}), 0);
+  ref.fill_fused();
+  const Region<2> mine =
+      app.cells().intersect(app.layout().owned(comm.rank()));
+  for_each(mine, [&](const Idx<2>& i) {
+    ASSERT_EQ(app.h()(i), ref.h()(i))
+        << "cell (" << i.v[0] << "," << i.v[1] << ") on rank " << comm.rank();
+  });
+}
+
+// 2D processor-grid frontier: both dimensions distributed, every interior
+// rank consumes north+west faces and emits south+east faces.
+class SwTwoD : public ::testing::TestWithParam<
+                   std::tuple<std::array<int, 2>, Coord, Coord, EngineKind>> {
+};
+
+TEST_P(SwTwoD, PerCellBitwiseMatchesSerial) {
+  const auto [dims, block, block_w, kind] = GetParam();
+  const int p = dims[0] * dims[1];
+  SmithWatermanConfig cfg;
+  cfg.la = 37;
+  cfg.lb = 29;
+  const ProcGrid<2> grid({dims[0], dims[1]});
+  Machine::run(p, {}, engine(kind), [&](Communicator& comm) {
+    SmithWaterman app(cfg, grid, comm.rank());
+    WaveOptions opts;
+    opts.block = block;
+    opts.block_w = block_w;
+    const auto rep = app.fill(comm, opts);
+    EXPECT_TRUE(rep.waved);
+    EXPECT_EQ(rep.axes, 2);
+    expect_cells_match_serial(cfg, app, comm);
+    const Real score = app.best_score(comm);
+    if (comm.rank() == 0)
+      EXPECT_DOUBLE_EQ(score, app.reference_best_score());
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridsEnginesBlocks, SwTwoD,
+    ::testing::Values(
+        std::make_tuple(std::array<int, 2>{2, 2}, Coord{0}, Coord{0},
+                        EngineKind::kFibers),
+        std::make_tuple(std::array<int, 2>{2, 2}, Coord{4}, Coord{3},
+                        EngineKind::kFibers),
+        std::make_tuple(std::array<int, 2>{2, 2}, Coord{4}, Coord{3},
+                        EngineKind::kThreads),
+        std::make_tuple(std::array<int, 2>{2, 2}, Coord{4}, Coord{3},
+                        EngineKind::kParallel),
+        std::make_tuple(std::array<int, 2>{4, 2}, Coord{3}, Coord{2},
+                        EngineKind::kFibers),
+        std::make_tuple(std::array<int, 2>{4, 2}, Coord{0}, Coord{2},
+                        EngineKind::kParallel),
+        std::make_tuple(std::array<int, 2>{2, 4}, Coord{2}, Coord{5},
+                        EngineKind::kFibers)));
+
+// The same 2D frontier lowered into a TaskGraph and run on the scheduler:
+// multi-inflow tasks (north + west faces) across backends and policies.
+class SwTwoDScheduled
+    : public ::testing::TestWithParam<
+          std::tuple<std::array<int, 2>, SchedBackend, SchedPolicy, bool>> {};
+
+TEST_P(SwTwoDScheduled, PerCellBitwiseMatchesSerial) {
+  const auto [dims, backend, policy, adaptive] = GetParam();
+  const int p = dims[0] * dims[1];
+  SmithWatermanConfig cfg;
+  cfg.la = 33;
+  cfg.lb = 31;
+  const ProcGrid<2> grid({dims[0], dims[1]});
+  const EngineKind kind = backend == SchedBackend::kTasks
+                              ? EngineKind::kParallel
+                              : EngineKind::kFibers;
+  Machine::run(p, {}, engine(kind), [&](Communicator& comm) {
+    SmithWaterman app(cfg, grid, comm.rank());
+    WaveOptions w;
+    w.block = 4;
+    w.block_w = 5;
+    SchedOptions so;
+    so.backend = backend;
+    so.policy = policy;
+    so.adaptive = adaptive;
+    const auto rep = app.fill_scheduled(comm, w, so);
+    EXPECT_GT(rep.tasks, 1u);
+    expect_cells_match_serial(cfg, app, comm);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BackendsPolicies, SwTwoDScheduled,
+    ::testing::Values(
+        std::make_tuple(std::array<int, 2>{2, 2}, SchedBackend::kSpmd,
+                        SchedPolicy::kFifo, true),
+        std::make_tuple(std::array<int, 2>{2, 2}, SchedBackend::kSpmd,
+                        SchedPolicy::kFifo, false),
+        std::make_tuple(std::array<int, 2>{2, 2}, SchedBackend::kSpmd,
+                        SchedPolicy::kDiagonal, true),
+        std::make_tuple(std::array<int, 2>{2, 2}, SchedBackend::kSpmd,
+                        SchedPolicy::kCriticalPath, true),
+        std::make_tuple(std::array<int, 2>{2, 2}, SchedBackend::kTasks,
+                        SchedPolicy::kDiagonal, true),
+        std::make_tuple(std::array<int, 2>{4, 2}, SchedBackend::kSpmd,
+                        SchedPolicy::kDiagonal, true),
+        std::make_tuple(std::array<int, 2>{4, 2}, SchedBackend::kTasks,
+                        SchedPolicy::kCriticalPath, true),
+        std::make_tuple(std::array<int, 2>{2, 4}, SchedBackend::kTasks,
+                        SchedPolicy::kFifo, false)));
+
+TEST(BandedSw, SerialMatchesOracle) {
+  BandedSwConfig cfg;
+  cfg.n = 500;
+  cfg.band = 16;
+  cfg.block = 64;
+  Machine::run(1, {}, [&](Communicator& comm) {
+    BandedSmithWaterman app(cfg, ProcGrid<2>({1, 1}), 0);
+    EXPECT_EQ(app.fill(comm), app.reference_best_score());
+  });
+}
+
+TEST(BandedSw, GridsMatchOracleBitwise) {
+  for (const auto dims : {std::array<int, 2>{2, 2}, std::array<int, 2>{4, 2},
+                          std::array<int, 2>{2, 4}, std::array<int, 2>{4, 1},
+                          std::array<int, 2>{1, 4}}) {
+    BandedSwConfig cfg;
+    cfg.n = 1000;
+    cfg.band = 24;
+    cfg.block = 57;  // deliberately not dividing the local row counts
+    const int p = dims[0] * dims[1];
+    const ProcGrid<2> grid({dims[0], dims[1]});
+    Machine::run(p, {}, [&](Communicator& comm) {
+      BandedSmithWaterman app(cfg, grid, comm.rank());
+      const Real score = app.fill(comm);
+      if (comm.rank() == 0)
+        EXPECT_EQ(score, app.reference_best_score())
+            << "grid " << dims[0] << "x" << dims[1];
+    });
+  }
+}
+
+TEST(BandedSw, GenomeScaleRunsInBandBoundedMemory) {
+  // n = 100k: the full DP matrix would be 10^10 cells; the banded
+  // streaming fill touches ~n * (2 band + 1) cells and keeps only
+  // O(band + block) elements resident per rank.
+  BandedSwConfig cfg;
+  cfg.n = 100000;
+  cfg.band = 64;
+  cfg.block = 256;
+  const ProcGrid<2> grid({2, 2});
+  Machine::run(4, {}, [&](Communicator& comm) {
+    BandedSmithWaterman app(cfg, grid, comm.rank());
+    const Real score = app.fill(comm);
+    EXPECT_LE(app.resident_elements(),
+              static_cast<std::size_t>(8 * (cfg.band + cfg.block)));
+    if (comm.rank() == 0) EXPECT_EQ(score, app.reference_best_score());
+  });
+}
+
 }  // namespace
 }  // namespace wavepipe

@@ -11,6 +11,7 @@
 
 #include "apps/alt_sweep.hh"
 #include "apps/simple_hydro.hh"
+#include "apps/smith_waterman.hh"
 #include "apps/sweep3d.hh"
 #include "apps/tomcatv.hh"
 #include "array/io.hh"
@@ -303,6 +304,130 @@ TEST(Faults, WavefrontSimpleByteIdenticalUnderChaos) {
       SCOPED_TRACE("p=" + std::to_string(p) + " seed=" +
                    std::to_string(seed));
       expect_identical(base, run_under(p, cm, opts, body));
+    }
+  }
+}
+
+TEST(Faults, TwoDFrontierSmithWatermanByteIdenticalUnderChaos) {
+  // The 2D processor-grid frontier: Smith-Waterman over pr x pc meshes,
+  // both blocking and overlap mode, byte-identical (scores, every owned
+  // cell, vtimes, phases, traces) to the deterministic schedule under
+  // random fiber schedules x fault plans.
+  const CostModel cm = t3e_like().costs;
+  for (const std::array<int, 2> dims :
+       {std::array<int, 2>{2, 2}, std::array<int, 2>{4, 2},
+        std::array<int, 2>{2, 4}}) {
+    const ProcGrid<2> grid(dims);
+    const int p = grid.size();
+    for (bool overlap : {false, true}) {
+      SmithWatermanConfig cfg;
+      cfg.la = 37;
+      cfg.lb = 29;
+      auto body = [&](Communicator& comm, std::vector<double>& extracted) {
+        SmithWaterman app(cfg, grid, comm.rank());
+        app.init();
+        WaveOptions opts;
+        opts.block = 5;
+        opts.block_w = 4;
+        opts.overlap = overlap;
+        const auto rep = app.fill(comm, opts);
+        EXPECT_EQ(rep.axes, 2);
+        const Real best = app.best_score(comm);
+        const auto part = pack_region(
+            app.h(), app.cells().intersect(app.layout().owned(comm.rank())));
+        auto all = comm.gather(std::span<const Real>(part));
+        if (comm.rank() == 0) {
+          extracted.push_back(best);
+          extracted.insert(extracted.end(), all.begin(), all.end());
+        }
+      };
+      const auto base = run_deterministic(p, cm, body);
+      for (std::uint64_t seed : {1u, 2u, 3u}) {
+        ChaosOptions opts;
+        opts.random_sched = true;
+        opts.sched_seed = seed;
+        opts.trace.enabled = true;
+        if (seed != 1) opts.faults = FaultPlan::from_seed(seed * 23, p);
+        SCOPED_TRACE(grid.describe() + " overlap=" + std::to_string(overlap) +
+                     " seed=" + std::to_string(seed));
+        expect_identical(base, run_under(p, cm, opts, body));
+      }
+    }
+  }
+}
+
+TEST(Faults, TwoDScheduledTasksBackendValuesMatchChaosOracle) {
+  // Multi-inflow tiles (north+west) through the scheduler. The tasks
+  // backend runs only on the parallel engine (no fault interceptor), so the
+  // check works from the other side, as in TasksBackendValuesMatchChaos-
+  // Oracle: one parallel+tasks run fixes the values and chaotic fiber runs
+  // must reproduce them. The static-FIFO SPMD backend additionally gets the
+  // full byte-identity treatment under chaos.
+  const CostModel cm = t3e_like().costs;
+  for (const std::array<int, 2> dims :
+       {std::array<int, 2>{2, 2}, std::array<int, 2>{2, 4}}) {
+    const ProcGrid<2> grid(dims);
+    const int p = grid.size();
+    SmithWatermanConfig cfg;
+    cfg.la = 33;
+    cfg.lb = 31;
+    WaveOptions wopts;
+    wopts.block = 4;
+    wopts.block_w = 5;
+    const auto body_with = [&](const SchedOptions& so) {
+      return [&, so](Communicator& comm, std::vector<double>& extracted) {
+        SmithWaterman app(cfg, grid, comm.rank());
+        app.init();
+        app.fill_scheduled(comm, wopts, so);
+        const Real best = app.best_score(comm);
+        const auto part = pack_region(
+            app.h(), app.cells().intersect(app.layout().owned(comm.rank())));
+        auto all = comm.gather(std::span<const Real>(part));
+        if (comm.rank() == 0) {
+          extracted.push_back(best);
+          extracted.insert(extracted.end(), all.begin(), all.end());
+        }
+      };
+    };
+
+    std::vector<double> tasks_vals;
+    {
+      SchedOptions so;
+      so.backend = SchedBackend::kTasks;
+      EngineConfig ec;
+      ec.kind = EngineKind::kParallel;
+      Machine m(p, cm, TraceConfig{}, ec);
+      auto fn = body_with(so);
+      m.run([&](Communicator& comm) { fn(comm, tasks_vals); });
+    }
+    ASSERT_FALSE(tasks_vals.empty());
+
+    const auto adaptive = body_with(SchedOptions{});
+    const auto base = run_deterministic(p, cm, adaptive);
+    EXPECT_EQ(base.extracted, tasks_vals);
+    for (std::uint64_t seed : {21u, 22u, 23u}) {
+      ChaosOptions opts;
+      opts.random_sched = true;
+      opts.sched_seed = seed;
+      opts.faults = FaultPlan::from_seed(seed * 19, p);
+      SCOPED_TRACE(grid.describe() + " adaptive seed=" + std::to_string(seed));
+      EXPECT_EQ(run_under(p, cm, opts, adaptive).extracted, tasks_vals);
+    }
+
+    SchedOptions stat;
+    stat.policy = SchedPolicy::kFifo;
+    stat.adaptive = false;
+    const auto fifo = body_with(stat);
+    const auto sbase = run_deterministic(p, cm, fifo);
+    EXPECT_EQ(sbase.extracted, tasks_vals);
+    for (std::uint64_t seed : {24u, 25u}) {
+      ChaosOptions opts;
+      opts.random_sched = true;
+      opts.sched_seed = seed;
+      opts.trace.enabled = true;
+      opts.faults = FaultPlan::from_seed(seed * 19, p);
+      SCOPED_TRACE(grid.describe() + " static seed=" + std::to_string(seed));
+      expect_identical(sbase, run_under(p, cm, opts, fifo));
     }
   }
 }

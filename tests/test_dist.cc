@@ -102,6 +102,34 @@ TEST(ProcGrid, FactoredPlacesFactorsOnRequestedDims) {
   EXPECT_EQ(g.dim(0) * g.dim(2), 6);
 }
 
+TEST(ProcGrid, FactoredRejectsDegenerateGrids) {
+  // A prime p over two dimensions would leave one of them undistributed —
+  // not the mesh the caller asked for.
+  EXPECT_THROW(ProcGrid<2>::factored(7, {0, 1}), ConfigError);
+  // More requested dimensions than p has prime factors.
+  EXPECT_THROW(ProcGrid<3>::factored(6, {0, 1, 2}), ConfigError);
+  // p == 1 distributes nothing.
+  EXPECT_THROW(ProcGrid<2>::factored(1, {0}), ConfigError);
+  EXPECT_THROW(ProcGrid<2>::factored(1, {0, 1}), ConfigError);
+  // The non-degenerate versions of the same shapes are fine.
+  EXPECT_EQ(ProcGrid<2>::factored(7, {0}).dim(0), 7);
+  EXPECT_EQ(ProcGrid<3>::factored(8, {0, 1, 2}).size(), 8);
+}
+
+TEST(ProcGrid, FactoredValidatesTheDimensionList) {
+  EXPECT_THROW(ProcGrid<2>::factored(4, {}), ConfigError);
+  EXPECT_THROW(ProcGrid<2>::factored(4, {2}), ConfigError);   // out of range
+  EXPECT_THROW(ProcGrid<2>::factored(4, {0, 0}), ConfigError);  // duplicate
+}
+
+TEST(ProcGrid, FactoredTwoDMeshesForTheSuite) {
+  // The shapes the 2D Smith-Waterman suite entry runs at.
+  const auto g4 = ProcGrid<2>::factored(4, {0, 1});
+  EXPECT_EQ(g4.dims(), (std::array<int, 2>{2, 2}));
+  const auto g8 = ProcGrid<2>::factored(8, {0, 1});
+  EXPECT_EQ(g8.dims(), (std::array<int, 2>{4, 2}));
+}
+
 TEST(Layout, OwnedBlocksPartitionGlobal) {
   const Region<2> global({{1, 1}}, {{20, 13}});
   const ProcGrid<2> grid({3, 2});

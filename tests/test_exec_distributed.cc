@@ -194,8 +194,11 @@ TEST(Distributed, AntiDependenceOnlyIsFullyParallel) {
   (void)res;
 }
 
-TEST(Distributed, SerializedDimensionMayNotBeDistributed) {
-  // WSV (-,-) serializes dim 1; distributing it must be rejected.
+TEST(Distributed, SerialDimensionMayNotBeDistributed) {
+  // Opposing diagonal dependences give dim 1 a ± WSV component: serial, so
+  // no frontier (1D or 2D) can distribute it. WSV (-,-) pipeline
+  // dimensions, by contrast, ARE distributable now — they become the
+  // second axis of a 2D processor-grid frontier (see the TwoD tests).
   EXPECT_THROW(
       Machine::run(2, {},
                    [&](Communicator& comm) {
@@ -203,10 +206,11 @@ TEST(Distributed, SerializedDimensionMayNotBeDistributed) {
                      const Layout<2> layout(Region<2>({{0, 0}}, {{9, 9}}),
                                             grid, Idx<2>{{1, 1}});
                      DistArray<Real, 2> a("a", layout, comm.rank());
-                     auto plan = scan(Region<2>({{1, 1}}, {{9, 9}}),
-                                      a.local() <<= prime(a.local(), kNorth) +
-                                                    prime(a.local(), kWest))
-                                     .compile();
+                     auto plan =
+                         scan(Region<2>({{1, 1}}, {{9, 8}}),
+                              a.local() <<= prime(a.local(), kNorthWest) +
+                                            prime(a.local(), kNorthEast))
+                             .compile();
                      run_wavefront(plan, layout, comm, {});
                    }),
       ContractError);

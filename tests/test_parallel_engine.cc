@@ -305,8 +305,9 @@ struct SuiteSize {
 };
 
 constexpr SuiteSize kSuiteSizes[] = {
-    {"tomcatv", 40, 2},        {"simple", 40, 2}, {"sweep3d", 12, 1},
-    {"smith-waterman", 64, 1}, {"sor", 40, 2},
+    {"tomcatv", 40, 2},        {"simple", 40, 2},
+    {"sweep3d", 12, 1},        {"smith-waterman", 64, 1},
+    {"smith-waterman-2d", 64, 1}, {"sor", 40, 2},
 };
 
 Coord size_of(const std::string& name) {
@@ -325,7 +326,7 @@ int iters_of(const std::string& name) {
 TEST(ParallelSuite, ValuesAndVtimesMatchFiberOracle) {
   const CostModel cm;  // default costs; engine comes from the environment
   auto suite = wavefront_suite();
-  ASSERT_EQ(suite.size(), 5u);
+  ASSERT_EQ(suite.size(), 6u);
   for (int p : {2, 4, 8}) {
     for (auto& app : suite) {
       const Coord n = size_of(app.name);
@@ -611,9 +612,7 @@ TEST(TasksBackend, HandGraphCrossRankInflowAndReport) {
       g.add_edge(a, b);
     } else {
       g.add({.label = "consume",
-             .inflow_src = 0,
-             .inflow_tag = 77,
-             .inflow_elements = 3,
+             .inflows = {{0, 77, 3}},
              .run = [&](TaskContext& ctx) {
                ASSERT_EQ(ctx.inflow.size(), 3u);
                std::copy(ctx.inflow.begin(), ctx.inflow.end(), seen.begin());
@@ -742,9 +741,7 @@ TEST(TasksBackend, DeadlockNamesTheStuckTask) {
       TaskGraph g;
       if (comm.rank() == 0)
         g.add({.label = "lonely-consumer",
-               .inflow_src = 1,
-               .inflow_tag = 99,
-               .inflow_elements = 1});
+               .inflows = {{1, 99, 1}}});
       SchedOptions so;
       so.backend = SchedBackend::kTasks;
       run_graph(g, comm, so);
@@ -793,9 +790,7 @@ TEST(TasksBackend, CrossRankStealsReported) {
       for (TaskId t : fan) g.add_edge(t, fin);
     } else {
       g.add({.label = "sink",
-             .inflow_src = 1,
-             .inflow_tag = 5,
-             .inflow_elements = 1,
+             .inflows = {{1, 5, 1}},
              .run = [&](TaskContext& ctx) { EXPECT_EQ(ctx.inflow[0], 42.0); }});
     }
     reps[comm.rank()] = run_graph(g, comm, so);
@@ -845,9 +840,7 @@ TEST(TasksBackend, TaskBodyThrowQuiescesStolenWorkBeforeTeardown) {
                  }});
       } else {
         g.add({.label = "starved",
-               .inflow_src = 0,
-               .inflow_tag = 9,
-               .inflow_elements = 1});
+               .inflows = {{0, 9, 1}}});
       }
       run_graph(g, comm, so);
       ADD_FAILURE() << "failed round returned normally on rank "

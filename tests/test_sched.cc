@@ -190,9 +190,7 @@ TEST(Executor, InflowAndSendsMoveDataBetweenRanks) {
       } else {
         TaskGraph::Task rx;
         rx.label = "rx";
-        rx.inflow_src = 0;
-        rx.inflow_tag = 7;
-        rx.inflow_elements = 3;
+        rx.inflows.push_back({0, 7, 3});
         rx.run = [&got](TaskContext& ctx) {
           got.assign(ctx.inflow.begin(), ctx.inflow.end());
         };
@@ -494,9 +492,7 @@ TEST(Deadlock, StaticPriorityOverCrossRankGraphFailsFast) {
         } else {
           TaskGraph::Task rx;
           rx.label = "rx";
-          rx.inflow_src = 0;
-          rx.inflow_tag = 3;
-          rx.inflow_elements = 1;
+          rx.inflows.push_back({0, 3, 1});
           rx.run = [&receiver_ran](TaskContext&) { receiver_ran = true; };
           g.add(std::move(rx));
         }
@@ -525,9 +521,7 @@ TEST(Deadlock, StaticPriorityOverCrossRankGraphFailsFast) {
       } else {
         TaskGraph::Task rx;
         rx.label = "rx";
-        rx.inflow_src = 0;
-        rx.inflow_tag = 3;
-        rx.inflow_elements = 1;
+        rx.inflows.push_back({0, 3, 1});
         rx.run = [&receiver_ran](TaskContext&) { receiver_ran = true; };
         g.add(std::move(rx));
       }
